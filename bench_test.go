@@ -1,0 +1,386 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablation benches DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The Table/Figure benches measure the cost of regenerating each result
+// from a shared, cached study (the study itself is timed by
+// BenchmarkStudyPipeline); Figure 2's bench is the experiment itself — a
+// subset-count sweep of the cluster-partitioned batch GCD with total-CPU
+// and peak-memory metrics reported alongside wall-clock time.
+package weakkeys_test
+
+import (
+	"context"
+	"io"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/core"
+	"github.com/factorable/weakkeys/internal/devices"
+	"github.com/factorable/weakkeys/internal/distgcd"
+	"github.com/factorable/weakkeys/internal/numtheory"
+	"github.com/factorable/weakkeys/internal/population"
+	"github.com/factorable/weakkeys/internal/prodtree"
+	"github.com/factorable/weakkeys/internal/scanner"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+// ---- shared fixtures -------------------------------------------------
+
+var (
+	studyOnce sync.Once
+	study     *core.Study
+	studyErr  error
+)
+
+// benchStudy returns a cached 10%-scale study (every pipeline stage is
+// identical to full scale).
+func benchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		study, studyErr = core.Run(context.Background(), core.Options{
+			Seed: 2016, KeyBits: 128, Scale: 0.10, Subsets: 4, OtherProtocols: true,
+		})
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return study
+}
+
+var (
+	corpusOnce sync.Once
+	corpus4k   []*big.Int
+)
+
+// benchCorpus returns a cached 4096-modulus corpus with ~2% shared-prime
+// keys, the workload for the factoring benches.
+func benchCorpus(b *testing.B) []*big.Int {
+	b.Helper()
+	corpusOnce.Do(func() {
+		f := population.NewKeyFactory(1, 256)
+		for i := 0; i < 4096; i++ {
+			var k *weakrsa.PrivateKey
+			var err error
+			if i%50 == 0 {
+				k, err = f.SharedPrime("bench", weakrsa.PrimeNaive)
+			} else {
+				k, err = f.Healthy()
+			}
+			if err != nil {
+				panic(err)
+			}
+			corpus4k = append(corpus4k, k.N)
+		}
+	})
+	return corpus4k
+}
+
+// ---- Tables ----------------------------------------------------------
+
+func BenchmarkTable1DatasetSummary(b *testing.B) {
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Table(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2VendorResponses(b *testing.B) {
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Table(io.Discard, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ScanComparison(b *testing.B) {
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Table(io.Discard, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Protocols(b *testing.B) {
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Table(io.Discard, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5OpenSSLFingerprint(b *testing.B) {
+	// The per-prime test at the heart of Table 5: sieve p-1 against the
+	// first 2048 primes.
+	f := population.NewKeyFactory(5, 256)
+	k, err := f.Healthy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		numtheory.SatisfiesOpenSSLProperty(k.P)
+	}
+}
+
+// ---- Figures ---------------------------------------------------------
+
+func BenchmarkFigure1AggregateSeries(b *testing.B) {
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Figure(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2PartitionedVsPlain is the Figure 2 experiment: the
+// k-subset partitioned batch GCD versus the single tree, over the same
+// corpus. Alongside ns/op it reports the total CPU work and the peak
+// per-node tree footprint — the two quantities the paper trades against
+// wall clock (1089 CPU-hours and 70-100 GB/node for 86 wall-minutes,
+// versus 500 minutes and >500 GB on one machine).
+func BenchmarkFigure2PartitionedVsPlain(b *testing.B) {
+	moduli := benchCorpus(b)
+	b.Run("singletree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := batchgcd.Factor(moduli); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, k := range []int{2, 4, 8, 16} {
+		b.Run(bname("k", k), func(b *testing.B) {
+			var cpu, mem int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := distgcd.Run(context.Background(), moduli, distgcd.Options{Subsets: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cpu += stats.TotalCPU.Nanoseconds()
+				mem = stats.PeakNodeMem
+			}
+			b.ReportMetric(float64(cpu)/float64(b.N), "cpu-ns/op")
+			b.ReportMetric(float64(mem), "peak-node-bytes")
+		})
+	}
+}
+
+func benchFigure(b *testing.B, n int) {
+	s := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Figure(io.Discard, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3Juniper(b *testing.B)          { benchFigure(b, 3) }
+func BenchmarkFigure4Innominate(b *testing.B)       { benchFigure(b, 4) }
+func BenchmarkFigure5IBM(b *testing.B)              { benchFigure(b, 5) }
+func BenchmarkFigure6Cisco(b *testing.B)            { benchFigure(b, 6) }
+func BenchmarkFigure7CiscoEOL(b *testing.B)         { benchFigure(b, 7) }
+func BenchmarkFigure8HP(b *testing.B)               { benchFigure(b, 8) }
+func BenchmarkFigure9NoResponse(b *testing.B)       { benchFigure(b, 9) }
+func BenchmarkFigure10NewlyVulnerable(b *testing.B) { benchFigure(b, 10) }
+
+// ---- Core algorithm scaling ------------------------------------------
+
+func BenchmarkBatchGCD(b *testing.B) {
+	moduli := benchCorpus(b)
+	for _, n := range []int{256, 1024, 4096} {
+		sub := moduli[:n]
+		b.Run(bname("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := batchgcd.Factor(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaivePairwiseGCD(b *testing.B) {
+	moduli := benchCorpus(b)
+	for _, n := range []int{256, 1024} {
+		sub := moduli[:n]
+		b.Run(bname("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := batchgcd.FactorPairwise(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProductTree(b *testing.B) {
+	moduli := benchCorpus(b)
+	for _, n := range []int{1024, 4096} {
+		sub := moduli[:n]
+		b.Run(bname("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prodtree.New(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRemainderTreeVariants is the DESIGN.md ablation: the squared
+// remainder tree (Bernstein's P mod N² trick, what batch GCD needs)
+// versus the plain variant.
+func BenchmarkRemainderTreeVariants(b *testing.B) {
+	moduli := benchCorpus(b)[:1024]
+	tree, err := prodtree.New(moduli)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := tree.Root()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.RemainderTree(root)
+		}
+	})
+	b.Run("squared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.RemainderTreeSquared(root)
+		}
+	})
+}
+
+// BenchmarkProductTreeLeafBatch is the DESIGN.md ablation: pre-multiplying
+// leaf pairs before building the tree halves the node count at the cost
+// of bigger leaves.
+func BenchmarkProductTreeLeafBatch(b *testing.B) {
+	moduli := benchCorpus(b)[:2048]
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prodtree.New(moduli); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prebatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batched := make([]*big.Int, 0, len(moduli)/2)
+			for j := 0; j+1 < len(moduli); j += 2 {
+				batched = append(batched, new(big.Int).Mul(moduli[j], moduli[j+1]))
+			}
+			if _, err := prodtree.New(batched); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Substrate benches -------------------------------------------------
+
+func BenchmarkKeygen(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		gen  weakrsa.PrimeGen
+	}{{"naive", weakrsa.PrimeNaive}, {"openssl", weakrsa.PrimeOpenSSL}} {
+		b.Run(tc.name, func(b *testing.B) {
+			f := population.NewKeyFactory(int64(b.N), 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.SharedPrime("pool", tc.gen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScannerWorkers is the DESIGN.md ablation: certificate-harvest
+// throughput versus worker-pool width over a loopback device fleet.
+func BenchmarkScannerWorkers(b *testing.B) {
+	f := population.NewKeyFactory(3, 128)
+	var targets []string
+	var servers []*devices.Server
+	for i := 0; i < 32; i++ {
+		k, err := f.Healthy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cert, err := certs.SelfSigned(big.NewInt(int64(i+1)), certs.Name{CommonName: "bench"},
+			time.Unix(0, 0), time.Unix(1<<40, 0), nil, k.N, k.E, k.D)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := &devices.Server{Cert: cert}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		targets = append(targets, ln.Addr().String())
+	}
+	b.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	for _, w := range []int{1, 4, 16} {
+		b.Run(bname("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := scanner.Scan(context.Background(), targets, scanner.Options{Workers: w})
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStudyPipeline(b *testing.B) {
+	// The full pipeline at 5% scale: simulation, scanning, batch GCD,
+	// fingerprinting, analysis.
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(context.Background(), core.Options{
+			Seed: int64(i), KeyBits: 128, Scale: 0.05, Subsets: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func bname(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,136 @@
+// Command scanmock demonstrates the live-network path of the study: it
+// boots a fleet of simulated devices on loopback TCP ports — some with
+// healthy keys, some with entropy-hole firmware that shares first primes,
+// one pair behind a Heartbleed-crash-prone build — then scans the fleet,
+// runs batch GCD over the harvested moduli, and reports which devices'
+// private keys fall out.
+//
+//	scanmock -devices 24 -vulnerable 8 -heartbleed
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/devices"
+	"github.com/factorable/weakkeys/internal/population"
+	"github.com/factorable/weakkeys/internal/scanner"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+func main() {
+	var (
+		nDevices   = flag.Int("devices", 24, "fleet size")
+		nVuln      = flag.Int("vulnerable", 8, "devices with entropy-hole firmware")
+		bits       = flag.Int("bits", 256, "RSA modulus size")
+		workers    = flag.Int("workers", 8, "scanner concurrency")
+		heartbleed = flag.Bool("heartbleed", false, "send heartbeat probes (crashes vulnerable firmware)")
+	)
+	flag.Parse()
+	if *nVuln > *nDevices {
+		fatal(fmt.Errorf("vulnerable count exceeds fleet size"))
+	}
+
+	factory := population.NewKeyFactory(time.Now().UnixNano(), *bits)
+	var targets []string
+	var servers []*devices.Server
+	for i := 0; i < *nDevices; i++ {
+		var key *weakrsa.PrivateKey
+		var err error
+		vulnerable := i < *nVuln
+		if vulnerable {
+			key, err = factory.SharedPrime("fleet", weakrsa.PrimeOpenSSL)
+		} else {
+			key, err = factory.Healthy()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		cert, err := certs.SelfSigned(big.NewInt(int64(i+1)),
+			certs.Name{CommonName: "system generated"},
+			time.Now(), time.Now().AddDate(10, 0, 0), nil, key.N, key.E, key.D)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &devices.Server{Cert: cert, CrashOnHeartbeat: vulnerable}
+		if vulnerable {
+			// Like 74% of the vulnerable devices in the paper's data:
+			// RSA key exchange only, so recorded traffic decrypts
+			// passively once the key factors.
+			srv.Suites = []string{devices.SuiteRSA}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		targets = append(targets, ln.Addr().String())
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	fmt.Printf("scanning %d devices (%d with entropy-hole firmware)...\n", *nDevices, *nVuln)
+	results := scanner.Scan(context.Background(), targets, scanner.Options{
+		Workers:        *workers,
+		ProbeHeartbeat: *heartbleed,
+	})
+	var moduli []*big.Int
+	ok := 0
+	for _, r := range results {
+		if r.Err != nil || r.Cert == nil {
+			continue
+		}
+		ok++
+		moduli = append(moduli, r.Cert.N)
+		if *heartbleed && !r.HeartbeatOK {
+			fmt.Printf("  %s: heartbeat probe failed (device crashed — the Heartbleed-scan effect)\n", r.Addr)
+		}
+	}
+	fmt.Printf("harvested %d certificates\n", ok)
+
+	factored, err := batchgcd.Factor(moduli)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("batch GCD factored %d keys:\n", len(factored))
+	for _, f := range factored {
+		p, q, err := batchgcd.SplitModulus(moduli[f.Index], f.Divisor)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %s: p=%x... q=%x...\n", results[f.Index].Addr, firstBytes(p), firstBytes(q))
+	}
+	if *heartbleed {
+		crashed := 0
+		for _, s := range servers {
+			if s.Crashed() {
+				crashed++
+			}
+		}
+		fmt.Printf("%d devices are now offline after heartbeat probing\n", crashed)
+	}
+}
+
+func firstBytes(n *big.Int) []byte {
+	b := n.Bytes()
+	if len(b) > 6 {
+		b = b[:6]
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scanmock:", err)
+	os.Exit(1)
+}

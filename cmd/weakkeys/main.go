@@ -1,0 +1,152 @@
+// Command weakkeys runs the full weak-key study end to end — ecosystem
+// simulation, scan harvesting, batch GCD, fingerprinting, longitudinal
+// analysis — and prints any of the paper's tables and figures.
+//
+// Examples:
+//
+//	weakkeys -all                 # every table and figure, full scale
+//	weakkeys -scale 0.2 -table 1  # quick run, dataset summary
+//	weakkeys -figure 3            # the Juniper time series
+//	weakkeys -csv Juniper         # CSV series for external plotting
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/core"
+	"github.com/factorable/weakkeys/internal/report"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 2016, "simulation seed")
+		scale    = flag.Float64("scale", 1.0, "population scale multiplier")
+		bits     = flag.Int("bits", 256, "RSA modulus size for simulated keys")
+		subsets  = flag.Int("subsets", 16, "batch GCD subsets k (>=2 distributes; 1 = single tree)")
+		mitm     = flag.Float64("mitm", 0.002, "per-device probability of the key-substituting middlebox")
+		bitErr   = flag.Float64("biterr", 0.0002, "per-observation bit-error probability")
+		other    = flag.Bool("other-protocols", true, "include SSH and mail-protocol corpora (Table 4)")
+		table    = flag.Int("table", 0, "print one paper table (1-5)")
+		figure   = flag.Int("figure", 0, "print one paper figure (1-10)")
+		all      = flag.Bool("all", false, "print every table and figure")
+		summary  = flag.Bool("summary", false, "print the headline-findings summary")
+		csvFor   = flag.String("csv", "", "emit the CSV time series for a vendor (e.g. Juniper)")
+		vendor   = flag.String("vendor", "", "print the time-series chart for one vendor")
+		sources  = flag.Bool("sources", false, "print the per-source corpus accounting")
+		export   = flag.String("export", "", "write per-vendor CSV series into a directory")
+		saveTo   = flag.String("save", "", "save the scan corpus to a file after the run")
+		loadFrom = flag.String("load", "", "analyze a previously saved scan corpus instead of simulating")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	var study *core.Study
+	var err error
+	if *loadFrom != "" {
+		logf("loading corpus from %s...", *loadFrom)
+		f, ferr := os.Open(*loadFrom)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "weakkeys:", ferr)
+			os.Exit(1)
+		}
+		store, lerr := scanstore.Load(f)
+		f.Close()
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "weakkeys:", lerr)
+			os.Exit(1)
+		}
+		study, err = core.AnalyzeStore(context.Background(), store, core.Options{
+			KeyBits: *bits,
+			Subsets: *subsets,
+		})
+	} else {
+		logf("simulating ecosystem and running pipeline (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
+		study, err = core.Run(context.Background(), core.Options{
+			Seed:           *seed,
+			KeyBits:        *bits,
+			Scale:          *scale,
+			Subsets:        *subsets,
+			MITMRate:       *mitm,
+			BitErrorRate:   *bitErr,
+			OtherProtocols: *other,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weakkeys:", err)
+		os.Exit(1)
+	}
+	cs := study.Analyzer.CorpusStats()
+	logf("pipeline done in %v: %d host records, %d distinct moduli, %d factored",
+		time.Since(start).Round(time.Millisecond), cs.HTTPSHostRecords, cs.TotalDistinctModuli, cs.VulnerableModuli)
+
+	out := os.Stdout
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakkeys:", err)
+			os.Exit(1)
+		}
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		fail(err)
+		fail(study.Store.Save(f))
+		fail(f.Close())
+		logf("saved scan corpus to %s", *saveTo)
+	}
+	if *export != "" {
+		files, err := study.ExportCSV(*export)
+		fail(err)
+		logf("exported %d CSV series to %s", files, *export)
+	}
+	switch {
+	case *all:
+		for n := 1; n <= 5; n++ {
+			fail(study.Table(out, n))
+			fmt.Fprintln(out)
+		}
+		fail(study.Sources(out))
+		fmt.Fprintln(out)
+		for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+			fail(study.Figure(out, n))
+			fmt.Fprintln(out)
+		}
+		fail(study.Summary(out))
+	case *sources:
+		fail(study.Sources(out))
+	case *summary:
+		fail(study.Summary(out))
+	case *table != 0:
+		fail(study.Table(out, *table))
+	case *figure != 0:
+		fail(study.Figure(out, *figure))
+	case *csvFor != "":
+		series := study.VendorSeries(*csvFor, "")
+		fail(reportCSV(out, series))
+	case *vendor != "":
+		series := study.VendorSeries(*vendor, "")
+		series.Name = *vendor + " hosts (total and vulnerable)"
+		fail(report.SeriesChart(out, series, 8))
+	default:
+		fail(study.Table(out, 1))
+		fmt.Fprintln(out)
+		fail(study.Figure(out, 1))
+	}
+}
+
+// reportCSV writes the series as CSV on w.
+func reportCSV(w *os.File, s analysis.Series) error {
+	return report.SeriesCSV(w, s)
+}

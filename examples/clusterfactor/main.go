@@ -1,0 +1,99 @@
+// Clusterfactor reproduces the computational story of Section 3.2: the
+// same weak-key corpus factored three ways — naive pairwise GCD, the
+// single-tree Bernstein batch GCD, and the paper's k-subset
+// cluster-partitioned variant — with wall-clock, total-CPU and peak
+// tree-memory numbers, showing the trade the authors made to scale to 81
+// million moduli (higher total work, lower wall clock, no giant central
+// product).
+//
+//	go run ./examples/clusterfactor -n 2000 -k 16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/distgcd"
+	"github.com/factorable/weakkeys/internal/population"
+	"github.com/factorable/weakkeys/internal/prodtree"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clusterfactor: ")
+	var (
+		n    = flag.Int("n", 2000, "corpus size (moduli)")
+		k    = flag.Int("k", 16, "subsets for the partitioned run")
+		bits = flag.Int("bits", 256, "modulus size")
+	)
+	flag.Parse()
+
+	// Build a corpus: 2% of keys share first primes, the rest healthy.
+	factory := population.NewKeyFactory(42, *bits)
+	moduli := make([]*big.Int, 0, *n)
+	for i := 0; i < *n; i++ {
+		var key *weakrsa.PrivateKey
+		var err error
+		if i%50 < 1 { // ~2% vulnerable, in cohorts
+			key, err = factory.SharedPrime("corpus", weakrsa.PrimeNaive)
+		} else {
+			key, err = factory.Healthy()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		moduli = append(moduli, key.N)
+	}
+	fmt.Printf("corpus: %d moduli of %d bits\n\n", len(moduli), *bits)
+
+	// 1. Naive pairwise GCD — quadratic; the baseline the paper calls
+	//    infeasible at scale. Skip it above a size cap.
+	if *n <= 4000 {
+		start := time.Now()
+		pairwise, err := batchgcd.FactorPairwise(moduli)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("naive pairwise GCD:    %8v  (%d vulnerable)\n", time.Since(start).Round(time.Millisecond), len(pairwise))
+	} else {
+		fmt.Println("naive pairwise GCD:    skipped (quadratic; use -n <= 4000)")
+	}
+
+	// 2. Single-tree batch GCD — quasilinear, one big product.
+	start := time.Now()
+	single, err := batchgcd.Factor(moduli)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleTime := time.Since(start)
+	tree, err := prodtree.New(moduli)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-tree batch GCD: %8v  (%d vulnerable, full tree %d KiB)\n",
+		singleTime.Round(time.Millisecond), len(single), tree.Bytes()/1024)
+
+	// 3. The paper's k-subset cluster variant.
+	start = time.Now()
+	dist, stats, err := distgcd.Run(context.Background(), moduli, distgcd.Options{Subsets: *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned (k=%2d):    %8v  (%d vulnerable, total CPU %v, peak node tree %d KiB)\n",
+		*k, time.Since(start).Round(time.Millisecond), len(dist),
+		stats.TotalCPU.Round(time.Millisecond), stats.PeakNodeMem/1024)
+
+	if len(single) != len(dist) {
+		log.Fatalf("algorithms disagree: %d vs %d", len(single), len(dist))
+	}
+	fmt.Println("\nall algorithms agree on the vulnerable set.")
+	fmt.Println("the partitioned variant does MORE total arithmetic (quadratic in k) but")
+	fmt.Println("no node ever holds the full product — the paper's 86-minute cluster run")
+	fmt.Println("vs 500 minutes on one machine is the same trade at 81M-moduli scale.")
+}

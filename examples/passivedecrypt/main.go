@@ -1,0 +1,124 @@
+// Passivedecrypt demonstrates why the weak keys mattered (Section 2.1):
+// a device with entropy-hole firmware serves its management interface
+// over a TLS-style protocol with RSA key exchange; an administrator logs
+// in; a purely passive attacker records the traffic, later factors the
+// device's modulus with batch GCD against another device of the same
+// model, and decrypts the recorded session offline — credentials and all.
+//
+//	go run ./examples/passivedecrypt
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/tlslite"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("passivedecrypt: ")
+
+	// Two firewalls of the same model boot with identical RNG state and
+	// diverge only at the time-stir between primes: the classic
+	// shared-first-prime pair.
+	keyA, keyB, err := weakrsa.SharedPrimePair([]byte("firewall-fw-2.1"), 512,
+		weakrsa.PrimeOpenSSL, []byte("boot-ms-233"), []byte("boot-ms-871"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	certA, err := certs.SelfSigned(big.NewInt(1), certs.Name{CommonName: "system generated"},
+		time.Now(), time.Now().AddDate(10, 0, 0), nil, keyA.N, keyA.E, keyA.D)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Device A serves its management interface (RSA key exchange only —
+	// like 74% of the vulnerable devices in the paper's 2016 data).
+	srv := &tlslite.ServerConfig{Cert: certA, Key: keyA, Suites: []string{tlslite.SuiteRSA}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		sess, err := srv.Handshake(conn)
+		if err != nil {
+			return
+		}
+		if _, err := sess.Recv(); err != nil { // the login
+			return
+		}
+		sess.Send([]byte("230 admin session established; cookie=9f8e7d6c"))
+	}()
+
+	// The administrator connects; the attacker has a passive tap on the
+	// path (mirror port, upstream capture — no interception).
+	tap := &tlslite.Tap{}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	cli := &tlslite.ClientConfig{Rand: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	sess, err := cli.Handshake(tap.TapConn(conn))
+	if err != nil {
+		log.Fatal(err)
+	}
+	login := []byte("USER admin PASS swordfish-42")
+	if err := sess.Send(login); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Recv(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("admin logged in over the encrypted session; attacker recorded",
+		"the ciphertext only")
+
+	// Months later: the attacker runs batch GCD over public scan data
+	// and device A's modulus factors against device B's.
+	results, err := batchgcd.Factor([]*big.Int{keyA.N, keyB.N})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("batch GCD found nothing — devices were not vulnerable")
+	}
+	fmt.Printf("batch GCD factored %d of 2 public moduli (shared prime of %d bits)\n",
+		len(results), results[0].Divisor.BitLen())
+
+	recovered, err := weakrsa.RecoverPrivateKey(&weakrsa.PublicKey{N: keyA.N, E: keyA.E}, results[0].Divisor)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decrypt the capture offline.
+	transcript, err := tap.Decrypt(recovered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndecrypted capture:")
+	for _, r := range transcript.ClientRecords {
+		fmt.Printf("  client -> server: %q\n", r)
+	}
+	for _, r := range transcript.ServerRecords {
+		fmt.Printf("  server -> client: %q\n", r)
+	}
+	if string(transcript.ClientRecords[0]) != string(login) {
+		log.Fatal("decryption mismatch")
+	}
+	fmt.Println("\nthe administrator's credentials fell to a purely passive attacker.")
+}

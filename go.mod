@@ -1,0 +1,3 @@
+module github.com/factorable/weakkeys
+
+go 1.22

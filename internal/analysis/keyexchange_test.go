@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+func TestKeyExchangeAt(t *testing.T) {
+	f := newFixture(t)
+	// A later scan with RSAOnly flags set on some hosts.
+	d4 := time.Date(2016, 4, 15, 0, 0, 0, 0, time.UTC)
+	add := func(ip string, cert *certs.Certificate, rsaOnly bool) {
+		if err := f.store.Add(scanstore.Observation{
+			IP: ip, Date: d4, Source: scanstore.SourceCensys,
+			Protocol: scanstore.HTTPS, Cert: cert, RSAOnly: rsaOnly,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("ip1", f.certVulnA, true)
+	add("ip2", f.certVulnA2, true)
+	add("ip3", f.certVulnA, false)
+	add("ip4", f.certSafeA, true) // safe host: never counted
+
+	ke := f.analyzer().KeyExchangeAt(time.Time{}) // latest scan = d4
+	if !ke.Date.Equal(d4) {
+		t.Errorf("date: %v", ke.Date)
+	}
+	if ke.VulnerableHosts != 3 {
+		t.Errorf("vulnerable = %d, want 3", ke.VulnerableHosts)
+	}
+	if ke.RSAOnly != 2 {
+		t.Errorf("RSA-only = %d, want 2", ke.RSAOnly)
+	}
+	if frac := ke.Fraction(); frac < 0.66 || frac > 0.67 {
+		t.Errorf("fraction = %v", frac)
+	}
+	if (KeyExchange{}).Fraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+	// Nearest-date selection.
+	ke2 := f.analyzer().KeyExchangeAt(f.d1.AddDate(0, 0, 2))
+	if !ke2.Date.Equal(f.d1) {
+		t.Errorf("nearest date: %v", ke2.Date)
+	}
+}
+
+// TestReplacementsClassification builds the two vulnerable->safe shapes:
+// the same certificate-holder re-keying in place (same serial) and a
+// different device taking over the address.
+func TestReplacementsClassification(t *testing.T) {
+	f := newFixture(t)
+	// Fixture transitions so far: ip1 vuln(serial 1) -> safe(serial 3)
+	// and ip3 vuln(serial 1) -> safe(serial 3): both serial changes.
+	// Add a patch-in-place on ip2: a safe certificate with certVulnA2's
+	// serial (2) but a different key, appearing after its vulnerable run.
+	patch := mkCert(t, 20, "a-vuln-2-rekeyed")
+	patch.SerialNumber = big.NewInt(2)
+	fp, err := patch.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.labels[fp] = f.labels[mustFP(t, f.certVulnA2)]
+	d4 := time.Date(2015, 6, 15, 0, 0, 0, 0, time.UTC)
+	if err := f.store.AddCertObservation("ip2", d4, scanstore.SourceRapid7, scanstore.HTTPS, patch); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := f.analyzer().Replacements("VendorA")
+	if rep.PatchedInPlace != 1 {
+		t.Errorf("patched = %d, want 1 (ip2)", rep.PatchedInPlace)
+	}
+	if rep.Replaced != 2 {
+		t.Errorf("replaced = %d, want 2 (ip1, ip3)", rep.Replaced)
+	}
+}
+
+func mustFP(t *testing.T, c *certs.Certificate) [32]byte {
+	t.Helper()
+	fp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}

@@ -1,0 +1,77 @@
+package certs
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+func TestCertPEMRoundTrip(t *testing.T) {
+	c, _ := testCert(t, 40)
+	var buf bytes.Buffer
+	if err := c.EncodePEM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("BEGIN WEAKKEYS CERTIFICATE")) {
+		t.Error("PEM header missing")
+	}
+	got, err := ParsePEM(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(c.N) != 0 || got.Subject != c.Subject {
+		t.Error("PEM round trip mismatch")
+	}
+}
+
+func TestParsePEMSkipsForeignBlocks(t *testing.T) {
+	c, _ := testCert(t, 41)
+	var buf bytes.Buffer
+	EncodeModulusPEM(&buf, big.NewInt(12345))
+	if err := c.EncodePEM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePEM(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(c.N) != 0 {
+		t.Error("wrong block parsed")
+	}
+}
+
+func TestParsePEMNoBlock(t *testing.T) {
+	if _, err := ParsePEM([]byte("not pem at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	EncodeModulusPEM(&buf, big.NewInt(7))
+	if _, err := ParsePEM(buf.Bytes()); err == nil {
+		t.Error("modulus-only input should not yield a certificate")
+	}
+}
+
+func TestModulusPEMRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*big.Int{big.NewInt(0xABCDEF), big.NewInt(0x123456789)}
+	for _, n := range want {
+		if err := EncodeModulusPEM(&buf, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ParseModulusPEMs(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d moduli", len(got))
+	}
+	for i := range want {
+		if got[i].Cmp(want[i]) != 0 {
+			t.Errorf("modulus %d mismatch", i)
+		}
+	}
+	if out, err := ParseModulusPEMs(nil); err != nil || len(out) != 0 {
+		t.Error("empty input should parse to nothing")
+	}
+}

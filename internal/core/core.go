@@ -1,0 +1,204 @@
+// Package core wires the full study together: it simulates the device
+// ecosystem, harvests six years of scan snapshots, runs the (optionally
+// cluster-partitioned) batch GCD over every distinct RSA modulus,
+// fingerprints implementations, and exposes the longitudinal analysis —
+// the complete pipeline of Hastings, Fried and Heninger's IMC 2016
+// measurement, end to end.
+//
+// Typical use:
+//
+//	study, err := core.Run(ctx, core.Options{})
+//	...
+//	study.Table1(os.Stdout)
+//	study.Figure(os.Stdout, 3) // the Juniper time series
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/distgcd"
+	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/population"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+// Options configures a study run. The zero value runs the full-scale
+// default study.
+type Options struct {
+	// Seed drives every random choice; same seed, same study.
+	Seed int64
+	// KeyBits is the RSA modulus size (default 256; see DESIGN.md).
+	KeyBits int
+	// Scale multiplies all population curves (default 1.0).
+	Scale float64
+	// Subsets selects the batch GCD flavour: 0 or 1 runs the plain
+	// single-tree algorithm; >= 2 runs the paper's k-subset
+	// cluster-partitioned variant (the paper used k = 16).
+	Subsets int
+	// MITMRate enables the Internet Rimon middlebox simulation.
+	MITMRate float64
+	// BitErrorRate enables transmission bit errors.
+	BitErrorRate float64
+	// OtherProtocols adds the SSH/POP3S/IMAPS/SMTPS corpora (Table 4).
+	OtherProtocols bool
+	// IPReuse is the probability that a new device takes over a retired
+	// device's address (drives the IP-churn ambiguity in transition
+	// analysis). Negative disables; zero selects the default 0.3.
+	IPReuse float64
+	// Lines overrides the simulated ecosystem (defaults to the full
+	// vendor set from the paper's figures).
+	Lines []population.Line
+}
+
+// Study is a completed pipeline run.
+type Study struct {
+	Opts Options
+	// Store holds every host record and distinct certificate/modulus.
+	Store *scanstore.Store
+	// Sim is the generating simulation (ground truth for validation).
+	Sim *population.Simulation
+	// Factored is the raw batch GCD output over all distinct moduli.
+	Factored []batchgcd.Result
+	// GCDStats reports the distributed-run cost profile (Subsets >= 2).
+	GCDStats distgcd.Stats
+	// Fingerprint is the Section 3.3 implementation analysis.
+	Fingerprint *fingerprint.Result
+	// Analyzer answers the longitudinal queries.
+	Analyzer *analysis.Analyzer
+}
+
+// Run executes the full pipeline.
+func Run(ctx context.Context, opts Options) (*Study, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	if opts.KeyBits == 0 {
+		opts.KeyBits = 256
+	}
+	switch {
+	case opts.IPReuse < 0:
+		opts.IPReuse = 0
+	case opts.IPReuse == 0:
+		opts.IPReuse = 0.3
+	}
+	s := &Study{Opts: opts, Store: scanstore.New()}
+
+	// Phase 1: ecosystem simulation + scan harvesting (the substitution
+	// for the EFF/P&Q/Ecosystem/Rapid7/Censys corpora).
+	sim, err := population.New(population.Config{
+		Seed:           opts.Seed,
+		KeyBits:        opts.KeyBits,
+		Scale:          opts.Scale,
+		Lines:          opts.Lines,
+		MITMRate:       opts.MITMRate,
+		BitErrorRate:   opts.BitErrorRate,
+		OtherProtocols: opts.OtherProtocols,
+		IPReuse:        opts.IPReuse,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: simulation: %w", err)
+	}
+	s.Sim = sim
+	if err := sim.Run(s.Store); err != nil {
+		return nil, fmt.Errorf("core: scan harvest: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cliqueVendors := make(map[string]string)
+	if cl := sim.Factory().Clique("IBM"); cl != nil {
+		// Analyst knowledge: the 2012 disclosure identified the IBM
+		// nine-prime pool, so the study labels those moduli IBM even
+		// though the certificates only name customers.
+		for _, p := range cl.Primes() {
+			cliqueVendors[p.String()] = "IBM"
+		}
+	}
+	var extraIPKeys []string
+	if n := sim.MITMModulus(); n != nil {
+		extraIPKeys = append(extraIPKeys, string(n.Bytes()))
+	}
+	if err := s.analyze(ctx, cliqueVendors, extraIPKeys); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AnalyzeStore runs the factoring, fingerprinting and longitudinal
+// phases over an existing scan corpus (for example one reloaded with
+// scanstore.Load) without simulating an ecosystem. Options fields that
+// configure the simulation are ignored; Subsets and KeyBits apply.
+// Without analyst clique knowledge, detected cliques are attributed by
+// the majority-label fallback only.
+func AnalyzeStore(ctx context.Context, store *scanstore.Store, opts Options) (*Study, error) {
+	if opts.KeyBits == 0 {
+		opts.KeyBits = 256
+	}
+	s := &Study{Opts: opts, Store: store}
+	if err := s.analyze(ctx, nil, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// analyze runs phases 2-4: batch GCD, fingerprinting, analysis.
+func (s *Study) analyze(ctx context.Context, cliqueVendors map[string]string, extraIPKeys []string) error {
+	opts := s.Opts
+	// Phase 2: batch GCD over every distinct modulus ever observed.
+	moduli, keys := s.Store.DistinctModuli()
+	if opts.Subsets >= 2 {
+		results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{Subsets: opts.Subsets})
+		if err != nil {
+			return fmt.Errorf("core: distributed batch GCD: %w", err)
+		}
+		s.Factored, s.GCDStats = results, stats
+	} else {
+		results, err := batchgcd.Factor(moduli)
+		if err != nil {
+			return fmt.Errorf("core: batch GCD: %w", err)
+		}
+		s.Factored = results
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 3: fingerprint implementations.
+	divisors := make(map[string]*big.Int, len(s.Factored))
+	for _, r := range s.Factored {
+		divisors[keys[r.Index]] = r.Divisor
+	}
+	ipCount := make(map[string]int)
+	for key := range divisors {
+		ipCount[key] = len(s.Store.IPsServingModulus(key, ""))
+	}
+	for _, key := range extraIPKeys {
+		ipCount[key] = len(s.Store.IPsServingModulus(key, ""))
+	}
+	s.Fingerprint = fingerprint.Analyze(fingerprint.Input{
+		Certs:         s.Store.DistinctCerts(),
+		Divisors:      divisors,
+		IPCount:       ipCount,
+		CliqueVendors: cliqueVendors,
+		ModulusBits:   opts.KeyBits,
+	})
+
+	// Phase 4: longitudinal analysis over the factored (bit-error-
+	// excluded) vulnerable set.
+	vuln := make(map[string]bool, len(s.Fingerprint.Factors))
+	for key := range s.Fingerprint.Factors {
+		vuln[key] = true
+	}
+	s.Analyzer = analysis.New(s.Store, s.Fingerprint.Labels, vuln)
+	excluded := make(map[string]bool, len(s.Fingerprint.BitErrors))
+	for _, be := range s.Fingerprint.BitErrors {
+		excluded[be.ModKey] = true
+	}
+	s.Analyzer.ExcludeModuli(excluded)
+	return nil
+}

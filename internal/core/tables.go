@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/devices"
+	"github.com/factorable/weakkeys/internal/disclosure"
+	"github.com/factorable/weakkeys/internal/report"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+// Table renders the numbered paper table (1-5).
+func (s *Study) Table(w io.Writer, n int) error {
+	switch n {
+	case 1:
+		return s.Table1(w)
+	case 2:
+		return s.Table2(w)
+	case 3:
+		return s.Table3(w)
+	case 4:
+		return s.Table4(w)
+	case 5:
+		return s.Table5(w)
+	default:
+		return fmt.Errorf("core: no table %d in the paper", n)
+	}
+}
+
+// Table1 is the dataset summary (paper Table 1).
+func (s *Study) Table1(w io.Writer) error {
+	cs := s.Analyzer.CorpusStats()
+	rows := [][]string{
+		{"HTTPS host records", report.Itoa(cs.HTTPSHostRecords)},
+		{"Distinct HTTPS certificates", report.Itoa(cs.DistinctHTTPSCerts)},
+		{"Distinct HTTPS moduli", report.Itoa(cs.DistinctHTTPSModuli)},
+		{"Total distinct RSA moduli", report.Itoa(cs.TotalDistinctModuli)},
+		{"Vulnerable RSA moduli", fmt.Sprintf("%d (%s of distinct)", cs.VulnerableModuli, report.Pct(cs.VulnerableModuli, cs.TotalDistinctModuli))},
+		{"Vulnerable HTTPS host records", report.Itoa(cs.VulnerableRecords)},
+		{"Vulnerable HTTPS certificates", report.Itoa(cs.VulnerableCerts)},
+	}
+	return report.Table(w, "Table 1: dataset summary", []string{"Quantity", "Value"}, rows)
+}
+
+// Table2 is the 2012 vendor notification outcome (paper Table 2).
+func (s *Study) Table2(w io.Writer) error {
+	byCat := make(map[devices.ResponseCategory][]string)
+	for _, v := range devices.Notified2012() {
+		byCat[v.Response] = append(byCat[v.Response], v.Name)
+	}
+	var rows [][]string
+	for _, cat := range []devices.ResponseCategory{devices.PublicAdvisory,
+		devices.PrivateResponse, devices.AutoResponse, devices.NoResponse} {
+		names := byCat[cat]
+		sort.Strings(names)
+		for i, n := range names {
+			label := ""
+			if i == 0 {
+				label = fmt.Sprintf("%s (%d)", cat, len(names))
+			}
+			rows = append(rows, []string{label, n})
+		}
+	}
+	return report.Table(w, "Table 2: vendor responses to the 2012 notification (37 vendors)",
+		[]string{"Response", "Vendor"}, rows)
+}
+
+// Table3 compares the earliest and latest scans (paper Table 3).
+func (s *Study) Table3(w io.Writer) error {
+	dates := s.Store.ScanDates(scanstore.HTTPS)
+	if len(dates) == 0 {
+		return fmt.Errorf("core: no scans in store")
+	}
+	row := func(d time.Time) (records, certs, keys int) {
+		cseen := make(map[[32]byte]bool)
+		kseen := make(map[string]bool)
+		for _, r := range s.Store.RecordsOn(d, scanstore.HTTPS) {
+			records++
+			cseen[r.CertFP] = true
+			kseen[r.ModKey] = true
+		}
+		return records, len(cseen), len(kseen)
+	}
+	first, last := dates[0], dates[len(dates)-1]
+	fr, fc, fk := row(first)
+	lr, lc, lk := row(last)
+	rows := [][]string{
+		{"TLS handshakes", report.Itoa(fr), report.Itoa(lr)},
+		{"Distinct certificates", report.Itoa(fc), report.Itoa(lc)},
+		{"Distinct RSA keys", report.Itoa(fk), report.Itoa(lk)},
+	}
+	return report.Table(w, "Table 3: earliest vs latest scan",
+		[]string{"Quantity", first.Format("2006-01 (EFF)"), last.Format("2006-01 (Censys)")}, rows)
+}
+
+// Table4 is the per-protocol breakdown (paper Table 4).
+func (s *Study) Table4(w io.Writer) error {
+	protos := []scanstore.Protocol{scanstore.HTTPS, scanstore.SSH,
+		scanstore.POP3S, scanstore.IMAPS, scanstore.SMTPS}
+	var rows [][]string
+	for _, ps := range s.Analyzer.ProtocolBreakdown(protos) {
+		date := "-"
+		if !ps.ScanDate.IsZero() {
+			date = ps.ScanDate.Format("2006-01-02")
+		}
+		rows = append(rows, []string{string(ps.Protocol), date,
+			report.Itoa(ps.TotalHosts), report.Itoa(ps.VulnerableHosts)})
+	}
+	return report.Table(w, "Table 4: vulnerable hosts per protocol (latest scan)",
+		[]string{"Protocol", "Date scanned", "Hosts with RSA keys", "Vulnerable hosts"}, rows)
+}
+
+// Table5 is the OpenSSL-fingerprint classification (paper Table 5),
+// measured from factored primes and compared against the registry's
+// ground truth.
+func (s *Study) Table5(w io.Writer) error {
+	var names []string
+	for name, vs := range s.Fingerprint.Vendors {
+		if vs.PrimesTotal > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var rows [][]string
+	for _, name := range names {
+		vs := s.Fingerprint.Vendors[name]
+		expected := "-"
+		if v := devices.ByName(name); v != nil {
+			expected = v.OpenSSL.String()
+		}
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%d/%d", vs.PrimesSatisfyingOpenSSL, vs.PrimesTotal),
+			vs.OpenSSL.String(), expected})
+	}
+	return report.Table(w, "Table 5: OpenSSL prime fingerprint by vendor (factored keys only)",
+		[]string{"Vendor", "Primes satisfying", "Measured class", "Registry class"}, rows)
+}
+
+// Figure renders the numbered paper figure (1, 3-10) as an ASCII chart.
+// Figure 2 (the partitioned-algorithm diagram) is reproduced by the
+// benchmark harness instead; requesting it prints the distributed-run
+// statistics when available.
+func (s *Study) Figure(w io.Writer, n int) error {
+	const chartHeight = 8
+	vendorFig := map[int]string{3: "Juniper", 4: "Innominate", 5: "IBM", 6: "Cisco", 8: "HP"}
+	switch {
+	case n == 1:
+		agg := s.Analyzer.AggregateSeries()
+		agg.Name = "Figure 1: HTTPS hosts (total and factorable), all sources"
+		return report.SeriesChart(w, agg, chartHeight)
+	case n == 2:
+		if s.GCDStats.Subsets == 0 {
+			fmt.Fprintln(w, "Figure 2: run with Subsets >= 2 (or see BenchmarkFigure2PartitionedVsPlain) for the partitioned batch GCD cost profile")
+			return nil
+		}
+		fmt.Fprintf(w, "Figure 2: partitioned batch GCD (k=%d over %d moduli)\n  wall %v, total CPU %v, peak per-node tree %d bytes\n",
+			s.GCDStats.Subsets, s.GCDStats.Moduli, s.GCDStats.Wall, s.GCDStats.TotalCPU, s.GCDStats.PeakNodeMem)
+		return nil
+	case vendorFig[n] != "":
+		v := vendorFig[n]
+		series := s.Analyzer.VendorSeries(v, "")
+		series.Name = fmt.Sprintf("Figure %d: %s hosts (total and vulnerable)", n, v)
+		return report.SeriesChart(w, series, chartHeight)
+	case n == 7:
+		fmt.Fprintln(w, "Figure 7: Cisco small-business models vs end-of-life announcements")
+		for _, m := range devices.CiscoModels {
+			series := s.Analyzer.VendorSeries("Cisco", m.Model)
+			series.Name = fmt.Sprintf("%s (EOL %s)", m.Model, m.EOL)
+			if err := report.SeriesChart(w, series, 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	case n == 9:
+		fmt.Fprintln(w, "Figure 9: vendors that never responded")
+		for _, v := range []string{"Thomson", "Fritz!Box", "Linksys", "Fortinet",
+			"ZyXEL", "Dell", "Kronos", "Xerox", "McAfee", "TP-LINK"} {
+			series := s.Analyzer.VendorSeries(v, "")
+			series.Name = v
+			if err := report.SeriesChart(w, series, 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	case n == 10:
+		fmt.Fprintln(w, "Figure 10: newly vulnerable products since 2012")
+		for _, v := range []string{"ADTRAN", "D-Link", "Huawei", "Sangfor", "Schmid Telecom"} {
+			series := s.Analyzer.VendorSeries(v, "")
+			series.Name = v
+			if err := report.SeriesChart(w, series, 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: no figure %d in the paper", n)
+	}
+}
+
+// VendorSeries is a convenience passthrough for examples.
+func (s *Study) VendorSeries(vendor, model string) analysis.Series {
+	return s.Analyzer.VendorSeries(vendor, model)
+}
+
+// Sources prints the Section 3.1 data-source accounting.
+func (s *Study) Sources(w io.Writer) error {
+	var rows [][]string
+	for _, st := range s.Analyzer.SourceBreakdown() {
+		rows = append(rows, []string{
+			string(st.Source),
+			st.FirstScan.Format("2006-01") + " .. " + st.LastScan.Format("2006-01"),
+			report.Itoa(st.Scans),
+			report.Itoa(st.HostRecords),
+			report.Itoa(st.DistinctCerts),
+		})
+	}
+	return report.Table(w, "Data sources (Section 3.1)",
+		[]string{"Source", "Era", "Scans", "Host records", "Distinct certs"}, rows)
+}
+
+// ExportCSV writes the aggregate series plus one CSV per labeled vendor
+// into dir, for external plotting.
+func (s *Study) ExportCSV(dir string) (files int, err error) {
+	write := func(name string, series analysis.Series) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.SeriesCSV(f, series); err != nil {
+			return err
+		}
+		files++
+		return f.Close()
+	}
+	if err := write("all.csv", s.Analyzer.AggregateSeries()); err != nil {
+		return files, err
+	}
+	for _, vendor := range s.Analyzer.Vendors() {
+		name := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+				return r
+			default:
+				return '_'
+			}
+		}, vendor) + ".csv"
+		if err := write(name, s.Analyzer.VendorSeries(vendor, "")); err != nil {
+			return files, err
+		}
+	}
+	return files, nil
+}
+
+// Summary prints the headline findings beyond the numbered tables: the
+// largest vulnerable-population drop (the Heartbleed test), the RSA-only
+// key-exchange exposure (Section 2.1's 74%), per-vendor transition
+// versus replacement behaviour, and the disclosure-campaign aggregates.
+func (s *Study) Summary(w io.Writer) error {
+	agg := s.Analyzer.AggregateSeries()
+	from, to, drop := analysis.LargestVulnDrop(agg)
+	fmt.Fprintf(w, "Largest vulnerable-population drop: %d hosts between %s and %s",
+		drop, from.Format("2006-01"), to.Format("2006-01"))
+	if !from.IsZero() && from.Year() == 2014 && (from.Month() == time.March || from.Month() == time.April) {
+		fmt.Fprintf(w, " — the Heartbleed disclosure, as in the paper")
+	}
+	fmt.Fprintln(w)
+
+	ke := s.Analyzer.KeyExchangeAt(time.Time{})
+	fmt.Fprintf(w, "Key exchange (%s scan): %d of %d vulnerable hosts (%.0f%%) support only RSA key exchange — passively decryptable (paper: 74%%)\n",
+		ke.Date.Format("2006-01"), ke.RSAOnly, ke.VulnerableHosts, 100*ke.Fraction())
+
+	for _, vendor := range []string{"Juniper", "Innominate", "IBM"} {
+		tr := s.Analyzer.Transitions(vendor)
+		rep := s.Analyzer.Replacements(vendor)
+		fmt.Fprintf(w, "%-10s: %d IPs ever seen, %d ever vulnerable; transitions v->s %d, s->v %d, repeated %d; of the v->s moves %d re-keyed in place vs %d replaced\n",
+			vendor, tr.EverTotal, tr.EverVuln, tr.VulnToSafe, tr.SafeToVuln, tr.Multiple,
+			rep.PatchedInPlace, rep.Replaced)
+	}
+
+	for _, c := range [][]disclosure.Timeline{disclosure.Campaign2012(), disclosure.Campaign2016()} {
+		if len(c) == 0 {
+			continue
+		}
+		st := disclosure.Aggregate(c)
+		fmt.Fprintf(w, "Disclosure campaign %s: %d vendors notified, %d with discoverable contacts, %d responded, %d advisories, %d patches\n",
+			c[0].Campaign, st.Vendors, st.DiscoverableContact, st.Responded, st.Advisories, st.Patches)
+	}
+	return nil
+}

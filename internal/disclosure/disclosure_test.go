@@ -1,0 +1,144 @@
+package disclosure
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCampaign2012Counts(t *testing.T) {
+	tls := Campaign2012()
+	if len(tls) != 37 {
+		t.Fatalf("2012 campaign covered %d vendors, want 37", len(tls))
+	}
+	st := Aggregate(tls)
+	if st.Advisories != 5 {
+		t.Errorf("advisories = %d, want 5", st.Advisories)
+	}
+	// "The majority of the vendors who were contacted never responded."
+	if st.Responded*2 >= st.Vendors+1 {
+		t.Errorf("responded = %d of %d: majority should not respond", st.Responded, st.Vendors)
+	}
+	// Minority with discoverable contacts (13 + 2 of 37 in 2012 — our
+	// reconstruction marks advisory+private vendors as discoverable).
+	if st.DiscoverableContact >= st.Vendors/2+5 {
+		t.Errorf("discoverable contacts = %d of %d, should be a minority-ish", st.DiscoverableContact, st.Vendors)
+	}
+	if st.Patches != 5 {
+		t.Errorf("patches = %d, want 5 (advisory vendors)", st.Patches)
+	}
+	if st.MedianTimeToAdvisory <= 0 {
+		t.Error("median time to advisory should be positive")
+	}
+}
+
+func TestCampaign2012EveryVendorNotified(t *testing.T) {
+	for _, tl := range Campaign2012() {
+		if _, ok := tl.First(Notified); !ok {
+			t.Errorf("%s never notified", tl.Vendor)
+		}
+		if tl.Campaign != "2012" {
+			t.Errorf("%s campaign label %q", tl.Vendor, tl.Campaign)
+		}
+	}
+}
+
+func TestCampaign2012IBMHasCVE(t *testing.T) {
+	for _, tl := range Campaign2012() {
+		if tl.Vendor != "IBM" {
+			continue
+		}
+		adv, ok := tl.First(Advisory)
+		if !ok {
+			t.Fatal("IBM advisory missing")
+		}
+		if adv.Note != "CVE-2012-2187" {
+			t.Errorf("IBM advisory note %q", adv.Note)
+		}
+		dur, err := tl.TimeToAdvisory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Notified February, advisory September: about seven months.
+		if dur < 6*30*24*time.Hour || dur > 8*30*24*time.Hour {
+			t.Errorf("IBM time-to-advisory = %v", dur)
+		}
+		return
+	}
+	t.Fatal("IBM not in campaign")
+}
+
+func TestCampaign2016(t *testing.T) {
+	tls := Campaign2016()
+	if len(tls) != 5 {
+		t.Fatalf("2016 campaign covered %d vendors, want 5", len(tls))
+	}
+	st := Aggregate(tls)
+	// Only two acknowledged (Huawei, ADTRAN); one advisory (Huawei).
+	if st.Responded != 2 {
+		t.Errorf("responded = %d, want 2", st.Responded)
+	}
+	if st.Advisories != 1 || st.Patches != 1 {
+		t.Errorf("advisories/patches = %d/%d, want 1/1", st.Advisories, st.Patches)
+	}
+	for _, tl := range tls {
+		if tl.Vendor != "Huawei" {
+			continue
+		}
+		adv, _ := tl.First(Advisory)
+		if adv.Note != "CVE-2016-6670" {
+			t.Errorf("Huawei CVE note %q", adv.Note)
+		}
+	}
+}
+
+func TestTimelineQueries(t *testing.T) {
+	tl := Timeline{
+		Vendor: "X",
+		Events: []Event{
+			{Date: d(2012, 6, 1), Kind: Advisory},
+			{Date: d(2012, 2, 1), Kind: Notified},
+			{Date: d(2012, 3, 1), Kind: Acked},
+		},
+	}
+	if first, _ := tl.First(Notified); !first.Date.Equal(d(2012, 2, 1)) {
+		t.Error("First should sort by date")
+	}
+	dur, err := tl.TimeToAdvisory()
+	if err != nil || dur != d(2012, 6, 1).Sub(d(2012, 2, 1)) {
+		t.Errorf("TimeToAdvisory = %v, %v", dur, err)
+	}
+	if !tl.Responded() {
+		t.Error("acked timeline should count as responded")
+	}
+	empty := Timeline{Vendor: "Y"}
+	if empty.Responded() {
+		t.Error("empty timeline responded")
+	}
+	if _, err := empty.TimeToAdvisory(); err == nil {
+		t.Error("missing notification should error")
+	}
+	auto := Timeline{Events: []Event{{Date: d(2012, 2, 2), Kind: AutoAck}}}
+	if auto.Responded() {
+		t.Error("auto-ack alone is not a response")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, k := range []EventKind{Notified, AutoAck, Acked, Advisory, Patch, Closed, EventKind(99)} {
+		if k.String() == "" {
+			t.Errorf("EventKind(%d) has empty string", int(k))
+		}
+	}
+	for _, c := range []ContactKind{ContactNone, ContactSecurityPage, ContactPersonal, ContactCERT} {
+		if c.String() == "" {
+			t.Errorf("ContactKind(%d) has empty string", int(c))
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	st := Aggregate(nil)
+	if st.Vendors != 0 || st.MedianTimeToAdvisory != 0 {
+		t.Errorf("empty aggregate: %+v", st)
+	}
+}

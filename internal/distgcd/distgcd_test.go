@@ -1,0 +1,184 @@
+package distgcd
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/numtheory"
+)
+
+func primes(t testing.TB, seed int64, n, bits int) []*big.Int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	out := make([]*big.Int, 0, n)
+	for len(out) < n {
+		p, err := numtheory.GenPrimeNaive(rng, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.String()] {
+			continue
+		}
+		seen[p.String()] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func mul(a, b *big.Int) *big.Int { return new(big.Int).Mul(a, b) }
+
+// mixedCorpus builds a corpus with known vulnerable indices: some safe
+// moduli from disjoint primes, some sharing a prime within the corpus.
+func mixedCorpus(t testing.TB, seed int64, nSafe, nShared, bits int) ([]*big.Int, map[int]bool) {
+	ps := primes(t, seed, 2*nSafe+nShared+1, bits)
+	var moduli []*big.Int
+	want := make(map[int]bool)
+	for i := 0; i < nSafe; i++ {
+		moduli = append(moduli, mul(ps[2*i], ps[2*i+1]))
+	}
+	shared := ps[2*nSafe]
+	for i := 0; i < nShared; i++ {
+		want[len(moduli)] = true
+		moduli = append(moduli, mul(shared, ps[2*nSafe+1+i]))
+	}
+	if nShared == 1 {
+		// A single user of the shared prime is not vulnerable.
+		want = map[int]bool{}
+	}
+	return moduli, want
+}
+
+func TestRunMatchesExpected(t *testing.T) {
+	moduli, want := mixedCorpus(t, 1, 6, 4, 48)
+	for _, k := range []int{1, 2, 3, 4, 7, 10, 100} {
+		res, stats, err := Run(context.Background(), moduli, Options{Subsets: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		got := make(map[int]bool)
+		for _, r := range res {
+			got[r.Index] = true
+		}
+		for i := range moduli {
+			if got[i] != want[i] {
+				t.Errorf("k=%d index %d: got %v want %v", k, i, got[i], want[i])
+			}
+		}
+		if stats.Moduli != len(moduli) {
+			t.Errorf("k=%d: stats.Moduli = %d", k, stats.Moduli)
+		}
+		if k <= len(moduli) && stats.Subsets != k {
+			t.Errorf("k=%d: stats.Subsets = %d", k, stats.Subsets)
+		}
+	}
+}
+
+func TestRunAgreesWithSingleTreeDivisors(t *testing.T) {
+	moduli, _ := mixedCorpus(t, 2, 5, 3, 48)
+	single, err := batchgcd.Factor(moduli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := Run(context.Background(), moduli, Options{Subsets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdiv := make(map[int]string)
+	for _, r := range single {
+		sdiv[r.Index] = r.Divisor.String()
+	}
+	if len(single) != len(dist) {
+		t.Fatalf("result count: single %d, dist %d", len(single), len(dist))
+	}
+	for _, r := range dist {
+		if sdiv[r.Index] != r.Divisor.String() {
+			t.Errorf("index %d: single divisor %s, dist %s", r.Index, sdiv[r.Index], r.Divisor)
+		}
+	}
+}
+
+func TestRunCliqueAcrossSubsets(t *testing.T) {
+	// Force clique members into different subsets (round-robin placement
+	// with k=3 puts indices 0,1,2 on different nodes).
+	ps := primes(t, 3, 3, 48)
+	moduli := []*big.Int{mul(ps[0], ps[1]), mul(ps[0], ps[2]), mul(ps[1], ps[2])}
+	res, _, err := Run(context.Background(), moduli, Options{Subsets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("want 3 vulnerable, got %v", res)
+	}
+	for _, r := range res {
+		// Both primes shared -> divisor is the whole modulus, as in the
+		// single-tree algorithm.
+		if r.Divisor.Cmp(moduli[r.Index]) != 0 {
+			t.Errorf("index %d: divisor %v", r.Index, r.Divisor)
+		}
+	}
+}
+
+func TestRunDuplicates(t *testing.T) {
+	ps := primes(t, 4, 2, 48)
+	n := mul(ps[0], ps[1])
+	res, _, err := Run(context.Background(), []*big.Int{n, new(big.Int).Set(n)}, Options{Subsets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("duplicates must not be self-vulnerable: %v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, _, err := Run(context.Background(), nil, Options{Subsets: 2}); err != batchgcd.ErrNoInput {
+		t.Errorf("empty input: %v", err)
+	}
+	moduli, _ := mixedCorpus(t, 5, 2, 0, 48)
+	if _, _, err := Run(context.Background(), moduli, Options{Subsets: 0}); err == nil {
+		t.Error("Subsets=0 should error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Run(ctx, moduli, Options{Subsets: 2}); err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	moduli, _ := mixedCorpus(t, 6, 10, 5, 64)
+	_, stats, err := Run(context.Background(), moduli, Options{Subsets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalCPU <= 0 {
+		t.Error("TotalCPU should be positive")
+	}
+	if stats.PeakNodeMem <= 0 {
+		t.Error("PeakNodeMem should be positive")
+	}
+	if stats.Wall <= 0 {
+		t.Error("Wall should be positive")
+	}
+}
+
+func TestPeakMemShrinksWithMoreSubsets(t *testing.T) {
+	// The entire point of the partitioned algorithm: per-node trees are
+	// smaller. Peak per-node memory with k=8 must be well below k=1.
+	moduli, _ := mixedCorpus(t, 7, 32, 0, 64)
+	_, s1, err := Run(context.Background(), moduli, Options{Subsets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s8, err := Run(context.Background(), moduli, Options{Subsets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8.PeakNodeMem >= s1.PeakNodeMem {
+		t.Errorf("k=8 peak %d should be below k=1 peak %d", s8.PeakNodeMem, s1.PeakNodeMem)
+	}
+}

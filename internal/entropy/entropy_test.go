@@ -1,0 +1,200 @@
+package entropy
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a := NewPool([]byte("firmware-v1"))
+	b := NewPool([]byte("firmware-v1"))
+	bufA, bufB := make([]byte, 64), make([]byte, 64)
+	if _, err := io.ReadFull(a, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Error("identical boot states must produce identical streams — this IS the vulnerability")
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := NewPool([]byte("firmware-v1"))
+	b := NewPool([]byte("firmware-v2"))
+	bufA, bufB := make([]byte, 32), make([]byte, 32)
+	a.Read(bufA)
+	b.Read(bufB)
+	if bytes.Equal(bufA, bufB) {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestMixForksStream(t *testing.T) {
+	a := NewPool([]byte("fw"))
+	b := NewPool([]byte("fw"))
+	buf := make([]byte, 32)
+	a.Read(buf)
+	b.Read(buf)
+	a.Mix([]byte("network packet"), 8)
+	bufA, bufB := make([]byte, 32), make([]byte, 32)
+	a.Read(bufA)
+	b.Read(bufB)
+	if bytes.Equal(bufA, bufB) {
+		t.Error("mix must fork the output stream")
+	}
+}
+
+func TestMixIsOrderSensitive(t *testing.T) {
+	a := NewPool([]byte("fw"))
+	b := NewPool([]byte("fw"))
+	a.Mix([]byte("x"), 0)
+	a.Mix([]byte("y"), 0)
+	b.Mix([]byte("y"), 0)
+	b.Mix([]byte("x"), 0)
+	bufA, bufB := make([]byte, 16), make([]byte, 16)
+	a.Read(bufA)
+	b.Read(bufB)
+	if bytes.Equal(bufA, bufB) {
+		t.Error("mix order should matter")
+	}
+}
+
+func TestReadNeverFails(t *testing.T) {
+	p := NewPool(nil)
+	big := make([]byte, 10000)
+	n, err := p.Read(big)
+	if n != len(big) || err != nil {
+		t.Errorf("urandom semantics: Read = %d, %v", n, err)
+	}
+}
+
+func TestReadContinuesStream(t *testing.T) {
+	// Reading 64 bytes at once equals reading 64 bytes in odd chunks.
+	a := NewPool([]byte("s"))
+	b := NewPool([]byte("s"))
+	whole := make([]byte, 64)
+	a.Read(whole)
+	var parts []byte
+	for _, sz := range []int{1, 7, 13, 31, 12} {
+		chunk := make([]byte, sz)
+		b.Read(chunk)
+		parts = append(parts, chunk...)
+	}
+	if !bytes.Equal(whole, parts) {
+		t.Error("chunked reads must match a single read")
+	}
+}
+
+func TestGetRandomBlocksUntilSeeded(t *testing.T) {
+	p := NewPool([]byte("fw"))
+	buf := make([]byte, 16)
+	if _, err := p.GetRandom(buf); err != ErrNotSeeded {
+		t.Errorf("unseeded GetRandom = %v, want ErrNotSeeded", err)
+	}
+	p.Mix([]byte("hw rng"), SeedThreshold-1)
+	if _, err := p.GetRandom(buf); err != ErrNotSeeded {
+		t.Error("one bit short of threshold should still block")
+	}
+	p.Mix([]byte("one more"), 1)
+	if !p.Seeded() {
+		t.Fatal("pool should now be seeded")
+	}
+	if _, err := p.GetRandom(buf); err != nil {
+		t.Errorf("seeded GetRandom failed: %v", err)
+	}
+	if p.CreditedBits() != SeedThreshold {
+		t.Errorf("CreditedBits = %d", p.CreditedBits())
+	}
+}
+
+func TestMixTimeGranularity(t *testing.T) {
+	base := time.Date(2012, 2, 1, 0, 0, 0, 0, time.UTC)
+	// Two devices mixing times within the same second at 1s granularity
+	// stay identical; at 1ms granularity they diverge.
+	a, b := NewPool([]byte("fw")), NewPool([]byte("fw"))
+	a.MixTime(base.Add(100*time.Millisecond), time.Second)
+	b.MixTime(base.Add(900*time.Millisecond), time.Second)
+	bufA, bufB := make([]byte, 16), make([]byte, 16)
+	a.Read(bufA)
+	b.Read(bufB)
+	if !bytes.Equal(bufA, bufB) {
+		t.Error("same coarse timestamp should keep pools identical")
+	}
+	c, d := NewPool([]byte("fw")), NewPool([]byte("fw"))
+	c.MixTime(base.Add(100*time.Millisecond), time.Millisecond)
+	d.MixTime(base.Add(900*time.Millisecond), time.Millisecond)
+	c.Read(bufA)
+	d.Read(bufB)
+	if bytes.Equal(bufA, bufB) {
+		t.Error("fine-grained timestamps should diverge pools")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewPool([]byte("fw"))
+	half := make([]byte, 20)
+	p.Read(half) // leave a partial block buffered
+	c := p.Clone()
+	bufP, bufC := make([]byte, 40), make([]byte, 40)
+	p.Read(bufP)
+	c.Read(bufC)
+	if !bytes.Equal(bufP, bufC) {
+		t.Error("clone must continue the identical stream")
+	}
+	p.Mix([]byte("x"), 0)
+	p.Read(bufP)
+	c.Read(bufC)
+	if bytes.Equal(bufP, bufC) {
+		t.Error("clone must be independent after divergence")
+	}
+}
+
+func TestBootOrdering(t *testing.T) {
+	cfg := BootConfig{
+		FirmwareSeed: []byte("model-X-fw-1.0"),
+		DeviceUnique: []byte("00:11:22:33:44:55"),
+		Events: []BootEvent{
+			{Data: []byte("irq 17"), CreditBits: 2},
+			{Data: []byte("packet"), CreditBits: 4},
+		},
+	}
+	p1 := Boot(cfg)
+	p2 := Boot(cfg)
+	b1, b2 := make([]byte, 32), make([]byte, 32)
+	p1.Read(b1)
+	p2.Read(b2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("identical boot configs must agree")
+	}
+	if p1.CreditedBits() != 6 {
+		t.Errorf("credited = %d, want 6", p1.CreditedBits())
+	}
+	// A different MAC diverges the stream even at zero credit.
+	cfg2 := cfg
+	cfg2.DeviceUnique = []byte("66:77:88:99:aa:bb")
+	p3 := Boot(cfg2)
+	b3 := make([]byte, 32)
+	p3.Read(b3)
+	if bytes.Equal(b1, b3) {
+		t.Error("distinct device-unique data must diverge streams")
+	}
+}
+
+func TestBootNoDeviceUnique(t *testing.T) {
+	// The vulnerable pattern: nothing distinguishes two devices.
+	cfg := BootConfig{FirmwareSeed: []byte("fw")}
+	p1, p2 := Boot(cfg), Boot(cfg)
+	b1, b2 := make([]byte, 32), make([]byte, 32)
+	p1.Read(b1)
+	p2.Read(b2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("devices without unique boot data must collide")
+	}
+	if p1.Seeded() {
+		t.Error("no events -> unseeded")
+	}
+}

@@ -1,0 +1,102 @@
+package entropy
+
+import (
+	"errors"
+	"io"
+)
+
+// KernelEra models the three generations of Linux RNG behaviour the paper
+// traces (Sections 2.4, 2.5, 5.1):
+//
+//   - EraPre2012: the boot-time entropy hole. Device events trickle in
+//     but /dev/urandom serves deterministic output long before any real
+//     entropy is credited, and first-boot key generation reads it anyway.
+//   - EraPatched2012: the July 2012 kernel patch ("/dev/random fixups"):
+//     interrupt events are mixed and credited aggressively, so the pool
+//     seeds during boot — but urandom still never blocks, so a
+//     sufficiently early read remains dangerous.
+//   - EraGetrandom2014: getrandom(2) (July 2014) blocks until seeded;
+//     key generation through it cannot observe the unseeded state.
+//
+// The paper hypothesizes that the post-2012 decline in newly produced
+// weak keys is "likely due to newer products using updated versions of
+// the Linux kernel"; this type lets the simulation state that hypothesis
+// as executable behaviour.
+type KernelEra int
+
+const (
+	EraPre2012 KernelEra = iota
+	EraPatched2012
+	EraGetrandom2014
+)
+
+func (e KernelEra) String() string {
+	switch e {
+	case EraPre2012:
+		return "pre-2012 (entropy hole)"
+	case EraPatched2012:
+		return "2012 patch (aggressive crediting)"
+	case EraGetrandom2014:
+		return "getrandom(2) era"
+	default:
+		return "unknown era"
+	}
+}
+
+// ErrTooEarly is returned when key generation runs before the RNG is
+// usable under the era's rules.
+var ErrTooEarly = errors.New("entropy: key generation before RNG is usable")
+
+// DeviceRNG couples a pool with an era's read discipline.
+type DeviceRNG struct {
+	Era  KernelEra
+	Pool *Pool
+}
+
+// BootDevice boots a device of the given era: the same firmware seed and
+// event stream, but era-dependent crediting. Pre-2012 kernels credited
+// device interrupts little or nothing on embedded platforms; the 2012
+// patch credits the same events; getrandom-era firmware additionally
+// reads through the blocking interface.
+func BootDevice(era KernelEra, cfg BootConfig) *DeviceRNG {
+	adjusted := cfg
+	if era == EraPre2012 {
+		// The entropy hole: events are mixed but credited nothing, so
+		// the pool never reaches the seeded threshold during early boot.
+		adjusted.Events = make([]BootEvent, len(cfg.Events))
+		for i, ev := range cfg.Events {
+			adjusted.Events[i] = BootEvent{Data: ev.Data, CreditBits: 0}
+		}
+		adjusted.DeviceUniqueCredit = 0
+	}
+	return &DeviceRNG{Era: era, Pool: Boot(adjusted)}
+}
+
+// Read draws key material under the era's discipline: urandom semantics
+// for the first two eras, getrandom semantics for the third.
+func (d *DeviceRNG) Read(p []byte) (int, error) {
+	if d.Era == EraGetrandom2014 {
+		n, err := d.Pool.GetRandom(p)
+		if err != nil {
+			return n, ErrTooEarly
+		}
+		return n, nil
+	}
+	return d.Pool.Read(p)
+}
+
+// Usable reports whether first-boot key generation on this device can
+// obtain safe randomness right now: pre-2012 devices with no unique data
+// cannot; patched kernels can once events have credited enough; the
+// getrandom era refuses to proceed otherwise.
+func (d *DeviceRNG) Usable() bool {
+	switch d.Era {
+	case EraGetrandom2014, EraPatched2012:
+		return d.Pool.Seeded()
+	default:
+		return d.Pool.Seeded() // pre-2012 pools essentially never are at boot
+	}
+}
+
+// ensure DeviceRNG satisfies io.Reader for key-generation call sites.
+var _ io.Reader = (*DeviceRNG)(nil)

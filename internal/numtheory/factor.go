@@ -1,0 +1,148 @@
+package numtheory
+
+import "math/big"
+
+// SmallFactors returns the prime factorization of n restricted to primes
+// among the first nPrimes primes, as (prime, exponent) pairs in
+// ascending order, plus the remaining cofactor. The bit-error analysis
+// uses this to show corrupted moduli carrying "divisors that are the
+// product of many small prime factors" (Section 3.3.5).
+func SmallFactors(n *big.Int, nPrimes int) (factors []PrimePower, cofactor *big.Int) {
+	cofactor = new(big.Int).Set(n)
+	var q, m, rem big.Int
+	for _, p := range FirstPrimes(nPrimes) {
+		q.SetUint64(p)
+		exp := 0
+		for {
+			m.QuoRem(cofactor, &q, &rem)
+			if rem.Sign() != 0 {
+				break
+			}
+			cofactor.Set(&m)
+			exp++
+		}
+		if exp > 0 {
+			factors = append(factors, PrimePower{Prime: p, Exp: exp})
+		}
+	}
+	return factors, cofactor
+}
+
+// PrimePower is one (prime, exponent) term of a factorization.
+type PrimePower struct {
+	Prime uint64
+	Exp   int
+}
+
+// PollardRho attempts to find one nontrivial factor of the composite n
+// using Pollard's rho with Brent's cycle detection, bounded by maxSteps
+// iterations. It returns nil if no factor was found within the budget or
+// n is prime/1. Deterministic given n (the polynomial constant is swept).
+//
+// Rho complements the batch GCD in the bit-error forensics: a corrupted
+// modulus is an essentially random integer, so its small and medium
+// factors fall to trial division and rho even though it shares no prime
+// with any other key.
+func PollardRho(n *big.Int, maxSteps int) *big.Int {
+	if n.Sign() <= 0 || n.Cmp(one) == 0 || n.ProbablyPrime(12) {
+		return nil
+	}
+	if n.Bit(0) == 0 {
+		return big.NewInt(2)
+	}
+	for c := int64(1); c <= 8; c++ {
+		if d := rhoBrent(n, c, maxSteps); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// rhoBrent is one rho run with f(x) = x² + c mod n and batched GCDs.
+func rhoBrent(n *big.Int, c int64, maxSteps int) *big.Int {
+	x := big.NewInt(2)
+	y := new(big.Int).Set(x)
+	cc := big.NewInt(c)
+	d := new(big.Int)
+	prod := big.NewInt(1)
+	var diff big.Int
+
+	step := func(v *big.Int) {
+		v.Mul(v, v)
+		v.Add(v, cc)
+		v.Mod(v, n)
+	}
+
+	const batch = 64
+	for steps := 0; steps < maxSteps; {
+		// Advance the fast pointer two steps per slow step, batching
+		// |x-y| products to amortize the gcd.
+		prod.SetInt64(1)
+		for i := 0; i < batch && steps < maxSteps; i++ {
+			step(x)
+			step(y)
+			step(y)
+			diff.Sub(x, y)
+			if diff.Sign() == 0 {
+				// Cycle without a factor for this c.
+				return nil
+			}
+			prod.Mul(prod, &diff)
+			prod.Mod(prod, n)
+			steps++
+		}
+		d.GCD(nil, nil, prod, n)
+		if d.Cmp(one) != 0 && d.Cmp(n) != 0 {
+			return new(big.Int).Set(d)
+		}
+		if d.Cmp(n) == 0 {
+			// Overshot: a factor divided the batch product; retry this c
+			// step-by-step would be ideal, but sweeping c is simpler and
+			// the callers only need best-effort factors.
+			return nil
+		}
+	}
+	return nil
+}
+
+// FactorCompletely factors n into probable primes using trial division by
+// the first nPrimes primes followed by recursive Pollard rho, each rho
+// call bounded by rhoSteps. Factors that resist the budget are returned
+// in incomplete. Results are sorted ascending.
+func FactorCompletely(n *big.Int, nPrimes, rhoSteps int) (primes []*big.Int, incomplete []*big.Int) {
+	small, cofactor := SmallFactors(n, nPrimes)
+	for _, pp := range small {
+		for i := 0; i < pp.Exp; i++ {
+			primes = append(primes, new(big.Int).SetUint64(pp.Prime))
+		}
+	}
+	var rec func(m *big.Int)
+	rec = func(m *big.Int) {
+		if m.Cmp(one) == 0 {
+			return
+		}
+		if m.ProbablyPrime(12) {
+			primes = append(primes, new(big.Int).Set(m))
+			return
+		}
+		d := PollardRho(m, rhoSteps)
+		if d == nil {
+			incomplete = append(incomplete, new(big.Int).Set(m))
+			return
+		}
+		rec(d)
+		rec(new(big.Int).Quo(m, d))
+	}
+	rec(cofactor)
+	sortBig(primes)
+	sortBig(incomplete)
+	return primes, incomplete
+}
+
+func sortBig(xs []*big.Int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].Cmp(xs[j-1]) < 0; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

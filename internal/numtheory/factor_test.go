@@ -1,0 +1,132 @@
+package numtheory
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallFactors(t *testing.T) {
+	// 360 = 2^3 * 3^2 * 5
+	factors, cofactor := SmallFactors(big.NewInt(360), 100)
+	want := []PrimePower{{2, 3}, {3, 2}, {5, 1}}
+	if len(factors) != len(want) {
+		t.Fatalf("factors: %v", factors)
+	}
+	for i, w := range want {
+		if factors[i] != w {
+			t.Errorf("factor %d = %v, want %v", i, factors[i], w)
+		}
+	}
+	if cofactor.Int64() != 1 {
+		t.Errorf("cofactor = %v", cofactor)
+	}
+	// 2 * 7919 with only the first 100 primes sieved: 7919 survives.
+	factors, cofactor = SmallFactors(big.NewInt(2*7919), 100)
+	if len(factors) != 1 || factors[0] != (PrimePower{2, 1}) || cofactor.Int64() != 7919 {
+		t.Errorf("got %v, %v", factors, cofactor)
+	}
+}
+
+func TestPollardRhoFindsFactors(t *testing.T) {
+	cases := []struct {
+		a, b int64
+	}{
+		{10007, 10009},
+		{104729, 1299709},
+		{7919, 7919}, // square
+	}
+	for _, c := range cases {
+		n := new(big.Int).Mul(big.NewInt(c.a), big.NewInt(c.b))
+		d := PollardRho(n, 1_000_000)
+		if d == nil {
+			t.Errorf("rho failed on %d*%d", c.a, c.b)
+			continue
+		}
+		var rem big.Int
+		if rem.Mod(n, d).Sign() != 0 {
+			t.Errorf("rho returned a non-divisor %v of %v", d, n)
+		}
+		if d.Cmp(big.NewInt(1)) == 0 || d.Cmp(n) == 0 {
+			t.Errorf("rho returned trivial divisor %v", d)
+		}
+	}
+}
+
+func TestPollardRhoRefusesPrimesAndTrivial(t *testing.T) {
+	if PollardRho(big.NewInt(104729), 10000) != nil {
+		t.Error("rho should return nil on a prime")
+	}
+	if PollardRho(big.NewInt(1), 10000) != nil {
+		t.Error("rho should return nil on 1")
+	}
+	if PollardRho(big.NewInt(-15), 10000) != nil {
+		t.Error("rho should return nil on negatives")
+	}
+	if d := PollardRho(big.NewInt(2*104729), 10000); d == nil || d.Int64() != 2 {
+		t.Errorf("even composite should yield 2, got %v", d)
+	}
+}
+
+func TestFactorCompletely(t *testing.T) {
+	// 2^2 * 3 * 10007 * 10009
+	n := big.NewInt(4 * 3)
+	n.Mul(n, big.NewInt(10007))
+	n.Mul(n, big.NewInt(10009))
+	primes, incomplete := FactorCompletely(n, 256, 1_000_000)
+	if len(incomplete) != 0 {
+		t.Fatalf("incomplete: %v", incomplete)
+	}
+	prod := big.NewInt(1)
+	for _, p := range primes {
+		if !p.ProbablyPrime(20) {
+			t.Errorf("non-prime factor %v", p)
+		}
+		prod.Mul(prod, p)
+	}
+	if prod.Cmp(n) != 0 {
+		t.Errorf("product %v != %v", prod, n)
+	}
+	// Sorted ascending.
+	for i := 1; i < len(primes); i++ {
+		if primes[i].Cmp(primes[i-1]) < 0 {
+			t.Error("factors not sorted")
+		}
+	}
+}
+
+func TestFactorCompletelyProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := big.NewInt(int64(raw)%100000 + 2)
+		primes, incomplete := FactorCompletely(n, 256, 200000)
+		prod := big.NewInt(1)
+		for _, p := range primes {
+			prod.Mul(prod, p)
+		}
+		for _, c := range incomplete {
+			prod.Mul(prod, c)
+		}
+		return prod.Cmp(n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorCompletelyIncompleteBudget(t *testing.T) {
+	// Two 96-bit primes: rho with a tiny budget cannot split the
+	// product, so it lands in incomplete.
+	p, err := GenPrimeNaive(testRand(31), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := GenPrimeNaive(testRand(32), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := new(big.Int).Mul(p, q)
+	primes, incomplete := FactorCompletely(n, 64, 10)
+	if len(incomplete) != 1 || incomplete[0].Cmp(n) != 0 {
+		t.Errorf("expected the whole modulus to resist: primes=%v incomplete=%v", primes, incomplete)
+	}
+}

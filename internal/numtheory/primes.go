@@ -1,0 +1,148 @@
+// Package numtheory provides the elementary number-theoretic building
+// blocks used throughout the weak-key study: small-prime sieves,
+// probabilistic primality testing, modular arithmetic helpers, and
+// smooth-part extraction.
+//
+// The package intentionally works with math/big so the same routines serve
+// both the key-generation substrate (internal/weakrsa) and the factoring
+// core (internal/batchgcd). Everything here is deterministic given its
+// inputs; randomized routines take an explicit io.Reader entropy source.
+package numtheory
+
+import (
+	"math/big"
+	"sort"
+)
+
+// SmallPrimes returns the first n primes, computed with an Eratosthenes
+// sieve. The result is freshly allocated on every call; callers that need
+// the list repeatedly should cache it (see FirstPrimes for the shared
+// cached variant).
+func SmallPrimes(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	// Upper bound for the nth prime: n(ln n + ln ln n) for n >= 6.
+	limit := uint64(16)
+	if n >= 6 {
+		fn := float64(n)
+		limit = uint64(fn*(ln(fn)+ln(ln(fn)))) + 8
+	}
+	for {
+		primes := sieve(limit)
+		if len(primes) >= n {
+			return primes[:n:n]
+		}
+		limit *= 2
+	}
+}
+
+// ln is a tiny natural-log approximation sufficient for sieve sizing; it
+// avoids importing math for a single call site and never needs to be
+// precise (an overestimate merely sieves slightly further).
+func ln(x float64) float64 {
+	// Use the identity ln(x) = 2*atanh((x-1)/(x+1)) via its series.
+	// Range-reduce by powers of 2: ln(x) = k*ln2 + ln(m), m in [1,2).
+	const ln2 = 0.6931471805599453
+	k := 0.0
+	for x >= 2 {
+		x /= 2
+		k++
+	}
+	for x < 1 {
+		x *= 2
+		k--
+	}
+	y := (x - 1) / (x + 1)
+	y2 := y * y
+	term := y
+	sum := 0.0
+	for i := 1; i < 40; i += 2 {
+		sum += term / float64(i)
+		term *= y2
+	}
+	return k*ln2 + 2*sum
+}
+
+// sieve returns all primes <= limit.
+func sieve(limit uint64) []uint64 {
+	if limit < 2 {
+		return nil
+	}
+	composite := make([]bool, limit+1)
+	var primes []uint64
+	for p := uint64(2); p <= limit; p++ {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, p)
+		for m := p * p; m <= limit; m += p {
+			composite[m] = true
+		}
+	}
+	return primes
+}
+
+// firstPrimesCache holds the largest prime list computed so far by
+// FirstPrimes. Access is unsynchronized-by-copy: the slice header is
+// replaced atomically enough for our single-initialization usage pattern;
+// concurrent callers may redundantly recompute but never observe a torn
+// slice because slices are only ever grown and reassigned whole.
+var firstPrimesCache []uint64
+
+// FirstPrimes returns the first n primes from a shared cache. The returned
+// slice MUST NOT be modified. It is the list OpenSSL-style prime generation
+// sieves against (the paper's fingerprint uses the first 2048 primes).
+func FirstPrimes(n int) []uint64 {
+	c := firstPrimesCache
+	if len(c) < n {
+		c = SmallPrimes(n)
+		firstPrimesCache = c
+	}
+	return c[:n]
+}
+
+// IsSmallPrime reports whether v appears in the first n primes. The lookup
+// is a binary search over the shared cache.
+func IsSmallPrime(v uint64, n int) bool {
+	primes := FirstPrimes(n)
+	i := sort.Search(len(primes), func(i int) bool { return primes[i] >= v })
+	return i < len(primes) && primes[i] == v
+}
+
+// PrimeProduct returns the product of the first n primes as a big.Int.
+// It is used by smooth-part extraction (Bernstein's algorithm) and by the
+// bit-error classifier.
+func PrimeProduct(n int) *big.Int {
+	primes := FirstPrimes(n)
+	leaves := make([]*big.Int, len(primes))
+	for i, p := range primes {
+		leaves[i] = new(big.Int).SetUint64(p)
+	}
+	return TreeProduct(leaves)
+}
+
+// TreeProduct multiplies the given values with a balanced binary product
+// tree, which is asymptotically faster than a linear fold when the operands
+// grow large. Inputs are not modified. An empty input yields 1.
+func TreeProduct(vals []*big.Int) *big.Int {
+	switch len(vals) {
+	case 0:
+		return big.NewInt(1)
+	case 1:
+		return new(big.Int).Set(vals[0])
+	}
+	cur := make([]*big.Int, len(vals))
+	copy(cur, vals)
+	for len(cur) > 1 {
+		out := make([]*big.Int, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			out = append(out, new(big.Int).Mul(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			out = append(out, cur[len(cur)-1])
+		}
+		cur = out
+	}
+	return cur[0]
+}

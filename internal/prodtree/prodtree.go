@@ -1,0 +1,181 @@
+// Package prodtree implements product trees and remainder trees over
+// math/big integers, the two primitives behind Bernstein's quasilinear
+// batch GCD algorithm ("How to find smooth parts of integers").
+//
+// A product tree stores, level by level, the pairwise products of its
+// inputs up to the single root product. A remainder tree then pushes a
+// value (typically the root product) back down the tree, reducing modulo
+// each node, so that the value modulo every individual leaf is obtained in
+// quasilinear total time instead of n independent divisions by a huge
+// number.
+//
+// The paper scaled this computation to 81 million moduli by splitting the
+// input into k subsets (see internal/distgcd); this package provides the
+// within-subset trees.
+package prodtree
+
+import (
+	"errors"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// Tree is a product tree. Levels[0] is the input leaves; each higher level
+// halves the node count (odd nodes are carried up unchanged); the last
+// level holds a single root equal to the product of all leaves.
+type Tree struct {
+	Levels [][]*big.Int
+}
+
+// ErrEmpty is returned when a tree is requested over no inputs.
+var ErrEmpty = errors.New("prodtree: no inputs")
+
+// New builds the product tree of vals. The leaf slice is copied (shallow:
+// the *big.Int leaves are aliased, never written). Building is
+// parallelized across GOMAXPROCS goroutines per level, mirroring the
+// threaded arithmetic of the original factorable.net implementation.
+func New(vals []*big.Int) (*Tree, error) {
+	if len(vals) == 0 {
+		return nil, ErrEmpty
+	}
+	leaves := make([]*big.Int, len(vals))
+	copy(leaves, vals)
+	t := &Tree{Levels: [][]*big.Int{leaves}}
+	for cur := leaves; len(cur) > 1; {
+		next := make([]*big.Int, (len(cur)+1)/2)
+		parallelFor(len(cur)/2, func(i int) {
+			next[i] = new(big.Int).Mul(cur[2*i], cur[2*i+1])
+		})
+		if len(cur)%2 == 1 {
+			next[len(next)-1] = cur[len(cur)-1]
+		}
+		t.Levels = append(t.Levels, next)
+		cur = next
+	}
+	return t, nil
+}
+
+// Root returns the product of all leaves. The returned value is shared
+// with the tree and must not be modified.
+func (t *Tree) Root() *big.Int {
+	top := t.Levels[len(t.Levels)-1]
+	return top[0]
+}
+
+// Leaves returns the leaf level. Shared storage; do not modify.
+func (t *Tree) Leaves() []*big.Int {
+	return t.Levels[0]
+}
+
+// Bytes returns the approximate memory footprint of all node values in
+// bytes. The paper reports 70-100 GB per node at the 81M-moduli scale; the
+// benchmark harness uses this to reproduce the memory column of that
+// comparison at simulation scale.
+func (t *Tree) Bytes() int64 {
+	var total int64
+	for _, level := range t.Levels {
+		for _, v := range level {
+			total += int64(len(v.Bits())) * int64(wordBytes)
+		}
+	}
+	return total
+}
+
+const wordBytes = 32 << (^big.Word(0) >> 63) / 8 // 4 or 8
+
+// RemainderTree pushes x down the product tree: it returns x mod leaf for
+// every leaf, computed with one reduction per tree node. x is not
+// modified.
+//
+// This is the plain variant (reduce modulo N). Batch GCD needs the
+// squared variant (see RemainderTreeSquared) to recover gcd(N, P/N);
+// the plain variant is used by the smooth-part computation and tests.
+func (t *Tree) RemainderTree(x *big.Int) []*big.Int {
+	return t.remainderTree(x, false)
+}
+
+// RemainderTreeSquared returns x mod leaf² for every leaf. Bernstein's
+// batch GCD trick: computing P mod Ni² and then gcd(Ni, (P mod Ni²)/Ni)
+// finds the common factor of Ni with the rest of the batch without ever
+// forming the exact cofactor P/Ni.
+func (t *Tree) RemainderTreeSquared(x *big.Int) []*big.Int {
+	return t.remainderTree(x, true)
+}
+
+func (t *Tree) remainderTree(x *big.Int, squared bool) []*big.Int {
+	cur := []*big.Int{x}
+	for lvl := len(t.Levels) - 1; lvl >= 0; lvl-- {
+		nodes := t.Levels[lvl]
+		next := make([]*big.Int, len(nodes))
+		parallelFor(len(nodes), func(i int) {
+			parent := cur[i/2]
+			var mod big.Int
+			if squared {
+				mod.Mul(nodes[i], nodes[i])
+			} else {
+				mod.Set(nodes[i])
+			}
+			// An odd trailing node was carried up unchanged, so the parent
+			// may literally be the same value; reduce anyway (cheap) to
+			// keep the control flow uniform.
+			next[i] = new(big.Int).Mod(parent, &mod)
+		})
+		cur = next
+	}
+	return cur
+}
+
+// parallelFor runs f(0..n-1) across up to GOMAXPROCS goroutines. It runs
+// inline when n is small to avoid goroutine overhead on tiny levels.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Product is a convenience wrapper: the product of vals via a tree.
+func Product(vals []*big.Int) (*big.Int, error) {
+	t, err := New(vals)
+	if err != nil {
+		return nil, err
+	}
+	return t.Root(), nil
+}
+
+// RemaindersMod computes x mod m for every m in mods using a freshly built
+// product tree of mods. It is the one-shot form of New + RemainderTree.
+func RemaindersMod(x *big.Int, mods []*big.Int) ([]*big.Int, error) {
+	t, err := New(mods)
+	if err != nil {
+		return nil, err
+	}
+	return t.RemainderTree(x), nil
+}

@@ -1,0 +1,238 @@
+package prodtree
+
+import (
+	"math/big"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func randInts(seed int64, n, bits int) []*big.Int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*big.Int, n)
+	max := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	for i := range out {
+		out[i] = new(big.Int).Rand(rng, max)
+		out[i].Add(out[i], big.NewInt(2)) // avoid 0 and 1
+	}
+	return out
+}
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr, err := New([]*big.Int{big.NewInt(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().Int64() != 42 {
+		t.Errorf("root = %v, want 42", tr.Root())
+	}
+	if len(tr.Levels) != 1 {
+		t.Errorf("levels = %d, want 1", len(tr.Levels))
+	}
+	rems := tr.RemainderTree(big.NewInt(100))
+	if len(rems) != 1 || rems[0].Int64() != 100%42 {
+		t.Errorf("remainders = %v", rems)
+	}
+}
+
+func TestRootMatchesLinearProduct(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 33, 100} {
+		vals := randInts(int64(n), n, 64)
+		tr, err := New(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := big.NewInt(1)
+		for _, v := range vals {
+			want.Mul(want, v)
+		}
+		if tr.Root().Cmp(want) != 0 {
+			t.Errorf("n=%d: root mismatch", n)
+		}
+	}
+}
+
+func TestLevelStructure(t *testing.T) {
+	vals := randInts(9, 9, 32)
+	tr, _ := New(vals)
+	wantSizes := []int{9, 5, 3, 2, 1}
+	if len(tr.Levels) != len(wantSizes) {
+		t.Fatalf("levels = %d, want %d", len(tr.Levels), len(wantSizes))
+	}
+	for i, w := range wantSizes {
+		if len(tr.Levels[i]) != w {
+			t.Errorf("level %d has %d nodes, want %d", i, len(tr.Levels[i]), w)
+		}
+	}
+	// Every parent is the product of its children (or a carried odd node).
+	for lvl := 0; lvl+1 < len(tr.Levels); lvl++ {
+		cur, up := tr.Levels[lvl], tr.Levels[lvl+1]
+		for i := 0; i+1 < len(cur); i += 2 {
+			prod := new(big.Int).Mul(cur[i], cur[i+1])
+			if prod.Cmp(up[i/2]) != 0 {
+				t.Errorf("level %d parent %d is not the product of its children", lvl, i/2)
+			}
+		}
+		if len(cur)%2 == 1 && up[len(up)-1].Cmp(cur[len(cur)-1]) != 0 {
+			t.Errorf("level %d odd node not carried up", lvl)
+		}
+	}
+}
+
+func TestRemainderTreeMatchesDirectMod(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17, 50} {
+		vals := randInts(int64(100+n), n, 48)
+		tr, _ := New(vals)
+		x := new(big.Int).Lsh(big.NewInt(0xDEADBEEF), 300)
+		x.Add(x, big.NewInt(12345))
+		rems := tr.RemainderTree(x)
+		for i, v := range vals {
+			want := new(big.Int).Mod(x, v)
+			if rems[i].Cmp(want) != 0 {
+				t.Errorf("n=%d leaf %d: got %v want %v", n, i, rems[i], want)
+			}
+		}
+	}
+}
+
+func TestRemainderTreeSquaredMatchesDirectMod(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 31} {
+		vals := randInts(int64(200+n), n, 48)
+		tr, _ := New(vals)
+		x := tr.Root() // the batch-GCD usage: reduce the full product
+		rems := tr.RemainderTreeSquared(x)
+		for i, v := range vals {
+			sq := new(big.Int).Mul(v, v)
+			want := new(big.Int).Mod(x, sq)
+			if rems[i].Cmp(want) != 0 {
+				t.Errorf("n=%d leaf %d: squared remainder mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestRemainderTreeDoesNotMutateInput(t *testing.T) {
+	vals := randInts(5, 5, 32)
+	tr, _ := New(vals)
+	x := big.NewInt(1 << 40)
+	want := new(big.Int).Set(x)
+	tr.RemainderTree(x)
+	tr.RemainderTreeSquared(x)
+	if x.Cmp(want) != 0 {
+		t.Error("remainder tree mutated x")
+	}
+	for i, v := range randInts(5, 5, 32) {
+		if vals[i].Cmp(v) != 0 {
+			t.Error("remainder tree mutated a leaf")
+		}
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	tr, _ := New(randInts(1, 64, 512))
+	if tr.Bytes() <= 0 {
+		t.Error("Bytes() should be positive")
+	}
+	// Root alone is ~64*512 bits = 4096 bytes; the whole tree must exceed it.
+	if tr.Bytes() < 4096 {
+		t.Errorf("Bytes() = %d, implausibly small", tr.Bytes())
+	}
+}
+
+func TestProductHelper(t *testing.T) {
+	p, err := Product([]*big.Int{big.NewInt(6), big.NewInt(7)})
+	if err != nil || p.Int64() != 42 {
+		t.Errorf("Product = %v, %v", p, err)
+	}
+	if _, err := Product(nil); err != ErrEmpty {
+		t.Errorf("Product(nil) err = %v", err)
+	}
+}
+
+func TestRemaindersModHelper(t *testing.T) {
+	mods := []*big.Int{big.NewInt(3), big.NewInt(5), big.NewInt(7)}
+	rems, err := RemaindersMod(big.NewInt(23), mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 3, 2}
+	for i, w := range want {
+		if rems[i].Int64() != w {
+			t.Errorf("23 mod %v = %v, want %d", mods[i], rems[i], w)
+		}
+	}
+	if _, err := RemaindersMod(big.NewInt(1), nil); err != ErrEmpty {
+		t.Error("expected ErrEmpty")
+	}
+}
+
+func TestPropertyRootDivisibleByEveryLeaf(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		vals := randInts(seed, n, 40)
+		tr, err := New(vals)
+		if err != nil {
+			return false
+		}
+		var m big.Int
+		for _, v := range vals {
+			if m.Mod(tr.Root(), v).Sign() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 100, 1000} {
+		out := make([]int, n)
+		parallelFor(n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("n=%d: out[%d] = %d", n, i, out[i])
+			}
+		}
+	}
+}
+
+func TestParallelForMultiWorker(t *testing.T) {
+	// Force the goroutine path even on single-core machines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	n := 1000
+	out := make([]int64, n)
+	parallelFor(n, func(i int) { atomic.AddInt64(&out[i], int64(i)) })
+	for i := range out {
+		if out[i] != int64(i) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+	// And the full tree build under real parallelism.
+	vals := randInts(77, 257, 64)
+	tr, err := New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := big.NewInt(1)
+	for _, v := range vals {
+		want.Mul(want, v)
+	}
+	if tr.Root().Cmp(want) != 0 {
+		t.Error("parallel tree build produced a wrong product")
+	}
+	if len(tr.Leaves()) != len(vals) {
+		t.Errorf("Leaves() = %d", len(tr.Leaves()))
+	}
+}

@@ -1,0 +1,204 @@
+// Package report renders the study's tables and figures as text: aligned
+// tables for Tables 1-5, two-panel ASCII time-series charts in the style
+// of the paper's figures (total population above, vulnerable below), and
+// CSV export for external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = pad(cell, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(headers))
+	for i := range headers {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SeriesChart renders a Series as the paper's two-panel figure: the total
+// population on top, the vulnerable population below, with a shared time
+// axis and source-era markers.
+func SeriesChart(w io.Writer, s analysis.Series, height int) error {
+	if height < 2 {
+		height = 4
+	}
+	if len(s.Dates) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no scans\n", s.Name)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", s.Name); err != nil {
+		return err
+	}
+	if err := panel(w, "total", s.Total, height); err != nil {
+		return err
+	}
+	if err := panel(w, "vulnerable", s.Vuln, height); err != nil {
+		return err
+	}
+	// Time axis: first, Heartbleed-adjacent midpoint, last.
+	first := s.Dates[0].Format("2006-01")
+	last := s.Dates[len(s.Dates)-1].Format("2006-01")
+	mid := s.Dates[len(s.Dates)/2].Format("2006-01")
+	width := len(s.Dates)
+	axis := pad(first, width/2) + pad(mid, width-width/2-len(last)) + last
+	if _, err := fmt.Fprintf(w, "  %s\n", axis); err != nil {
+		return err
+	}
+	// Era markers.
+	eras := make([]byte, len(s.Dates))
+	for i, src := range s.Sources {
+		eras[i] = eraMark(src)
+	}
+	_, err := fmt.Fprintf(w, "  %s\n  (E=EFF P=P&Q e=Ecosystem R=Rapid7 C=Censys)\n", string(eras))
+	return err
+}
+
+// eraMark maps scan sources to single-character era markers ('e'
+// disambiguates Ecosystem from EFF).
+func eraMark(src scanstore.Source) byte {
+	switch src {
+	case scanstore.SourceEFF:
+		return 'E'
+	case scanstore.SourcePQ:
+		return 'P'
+	case scanstore.SourceEcosystem:
+		return 'e'
+	case scanstore.SourceRapid7:
+		return 'R'
+	case scanstore.SourceCensys:
+		return 'C'
+	default:
+		return '?'
+	}
+}
+
+func panel(w io.Writer, label string, vals []int, height int) error {
+	max := 0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(vals)))
+	}
+	for i, v := range vals {
+		// Scale to rows; row 0 is the top.
+		h := (v*height + max - 1) / max
+		for r := 0; r < h; r++ {
+			grid[height-1-r][i] = '#'
+		}
+	}
+	for r, rowBytes := range grid {
+		yLabel := ""
+		switch r {
+		case 0:
+			yLabel = fmt.Sprintf("%6d", max)
+		case height - 1:
+			yLabel = fmt.Sprintf("%6d", 0)
+		default:
+			yLabel = strings.Repeat(" ", 6)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s| %s\n", yLabel, string(rowBytes), labelOnce(label, r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func labelOnce(label string, row int) string {
+	if row == 0 {
+		return label
+	}
+	return ""
+}
+
+// SeriesCSV writes a Series as CSV (date, source, total, vulnerable).
+func SeriesCSV(w io.Writer, s analysis.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"date", "source", "total", "vulnerable"}); err != nil {
+		return err
+	}
+	for i, d := range s.Dates {
+		src := ""
+		if i < len(s.Sources) {
+			src = string(s.Sources[i])
+		}
+		rec := []string{d.Format("2006-01-02"), src,
+			fmt.Sprint(s.Total[i]), fmt.Sprint(s.Vuln[i])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Itoa is a tiny helper for building table rows.
+func Itoa(v int) string { return fmt.Sprint(v) }
+
+// Pct formats a fraction as a percentage with two decimals.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}

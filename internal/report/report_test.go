@@ -1,0 +1,140 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, "Table X", []string{"Name", "Count"}, [][]string{
+		{"Juniper", "12345"},
+		{"HP", "7"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	// Separator row present.
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("no rule line: %q", lines[2])
+	}
+	// Columns align: "Count" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "Count")
+	if !strings.HasPrefix(lines[3][idx:], "12345") {
+		t.Errorf("misaligned: %q", lines[3])
+	}
+}
+
+func TestTableShortRows(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, "", []string{"A", "B", "C"}, [][]string{{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func testSeries() analysis.Series {
+	mk := func(y, m int) time.Time { return time.Date(y, time.Month(m), 15, 0, 0, 0, 0, time.UTC) }
+	return analysis.Series{
+		Name:    "Juniper/",
+		Dates:   []time.Time{mk(2012, 6), mk(2013, 6), mk(2014, 3), mk(2014, 5)},
+		Total:   []int{100, 150, 200, 120},
+		Vuln:    []int{10, 20, 30, 15},
+		Sources: []scanstore.Source{scanstore.SourceEcosystem, scanstore.SourceEcosystem, scanstore.SourceRapid7, scanstore.SourceRapid7},
+	}
+}
+
+func TestSeriesChart(t *testing.T) {
+	var b strings.Builder
+	if err := SeriesChart(&b, testSeries(), 4); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Juniper/") {
+		t.Error("missing name")
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "vulnerable") {
+		t.Error("missing panel labels")
+	}
+	if !strings.Contains(out, "200") || !strings.Contains(out, "30") {
+		t.Error("missing y-axis maxima")
+	}
+	if !strings.Contains(out, "2012-06") || !strings.Contains(out, "2014-05") {
+		t.Error("missing time axis")
+	}
+	if !strings.Contains(out, "eeRR") {
+		t.Errorf("missing era markers:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("chart has no marks")
+	}
+}
+
+func TestSeriesChartEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := SeriesChart(&b, analysis.Series{Name: "empty"}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no scans") {
+		t.Error("empty series should say so")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	if err := SeriesCSV(&b, testSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines: %d", len(lines))
+	}
+	if lines[0] != "date,source,total,vulnerable" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if lines[1] != "2012-06-15,Ecosystem,100,10" {
+		t.Errorf("row: %q", lines[1])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(313330, 81228736); got != "0.39%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Error("division by zero should be n/a")
+	}
+	if Itoa(42) != "42" {
+		t.Error("Itoa")
+	}
+}
+
+func TestEraMarks(t *testing.T) {
+	cases := map[scanstore.Source]byte{
+		scanstore.SourceEFF:       'E',
+		scanstore.SourcePQ:        'P',
+		scanstore.SourceEcosystem: 'e',
+		scanstore.SourceRapid7:    'R',
+		scanstore.SourceCensys:    'C',
+		scanstore.Source("x"):     '?',
+	}
+	for src, want := range cases {
+		if got := eraMark(src); got != want {
+			t.Errorf("eraMark(%s) = %c, want %c", src, got, want)
+		}
+	}
+}

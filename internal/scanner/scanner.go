@@ -1,0 +1,154 @@
+// Package scanner implements the certificate-harvesting client side of the
+// study: a zmap-style concurrent TCP scanner that connects to device
+// management interfaces, performs the certificate-fetch handshake, and
+// records host observations. The paper's sources used Nmap+Python (EFF,
+// P&Q) and ZMap+custom fetchers (Ecosystem, Rapid7, Censys); the worker-
+// pool architecture here mirrors the latter.
+package scanner
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/devices"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+// Options configures a scan.
+type Options struct {
+	// Workers is the number of concurrent connections (default 16).
+	Workers int
+	// Timeout bounds each connection attempt and handshake (default 5s).
+	Timeout time.Duration
+	// ProbeHeartbeat, when set, additionally sends a heartbeat probe
+	// after fetching the certificate — the Heartbleed-scan behaviour
+	// that crashed some devices in the wild.
+	ProbeHeartbeat bool
+	// RatePerSecond caps connection attempts per second (0 = unlimited).
+	// ZMap-era scanners pace probes to be polite to networks; the
+	// Ecosystem scans took 18 hours for the IPv4 space at their chosen
+	// rate.
+	RatePerSecond float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
+// Result is the outcome for one target address.
+type Result struct {
+	Addr string
+	Cert *certs.Certificate
+	// Suites is the cipher-suite families the server advertised.
+	Suites []string
+	// HeartbeatOK reports whether the heartbeat probe (if requested)
+	// got a correct response.
+	HeartbeatOK bool
+	Err         error
+}
+
+// Scan fetches certificates from every target concurrently. Results are
+// returned in target order. The context cancels outstanding dials.
+func Scan(ctx context.Context, targets []string, opts Options) []Result {
+	o := opts.withDefaults()
+	results := make([]Result, len(targets))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = scanOne(ctx, targets[i], o)
+			}
+		}()
+	}
+	var pace <-chan time.Time
+	if o.RatePerSecond > 0 {
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / o.RatePerSecond))
+		defer ticker.Stop()
+		pace = ticker.C
+	}
+dispatch:
+	for i := range targets {
+		if pace != nil {
+			select {
+			case <-pace:
+			case <-ctx.Done():
+				for j := i; j < len(targets); j++ {
+					results[j] = Result{Addr: targets[j], Err: ctx.Err()}
+				}
+				break dispatch
+			}
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(targets); j++ {
+				results[j] = Result{Addr: targets[j], Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func scanOne(ctx context.Context, addr string, o Options) Result {
+	res := Result{Addr: addr}
+	d := net.Dialer{Timeout: o.Timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(o.Timeout))
+	cert, suites, err := devices.FetchCertSuites(conn)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Cert = cert
+	res.Suites = suites
+	if o.ProbeHeartbeat {
+		res.HeartbeatOK = devices.ProbeHeartbeat(conn, []byte("scan-probe")) == nil
+	}
+	return res
+}
+
+// Harvest scans targets and stores every successful observation under the
+// given scan date and source. It returns the per-target results alongside
+// the number of stored observations.
+func Harvest(ctx context.Context, store *scanstore.Store, date time.Time, src scanstore.Source, targets []string, opts Options) ([]Result, int, error) {
+	results := Scan(ctx, targets, opts)
+	stored := 0
+	for _, r := range results {
+		if r.Err != nil || r.Cert == nil {
+			continue
+		}
+		host, _, err := net.SplitHostPort(r.Addr)
+		if err != nil {
+			host = r.Addr
+		}
+		err = store.Add(scanstore.Observation{
+			IP: host, Date: date, Source: src, Protocol: scanstore.HTTPS,
+			Cert: r.Cert, RSAOnly: devices.RSAOnly(r.Suites),
+		})
+		if err != nil {
+			return results, stored, err
+		}
+		stored++
+	}
+	return results, stored, nil
+}

@@ -1,0 +1,101 @@
+package scanstore
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/factorable/weakkeys/internal/certs"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the serialized form of a Store: records plus the distinct
+// certificate DER blobs and the distinct moduli (bare keys have no
+// certificate, so moduli must be stored explicitly) in first-seen order.
+type snapshot struct {
+	Version int
+	Records []HostRecord
+	CertDER [][]byte
+	Moduli  [][]byte
+}
+
+// Save writes the store to w as gzip-compressed gob. The format is the
+// stand-in for the paper's MySQL scan database: 1.5B host records lived
+// on a 6TB SSD cache; a full simulated corpus is a few tens of MB.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{
+		Version: snapshotVersion,
+		Records: s.records,
+		Moduli:  make([][]byte, 0, len(s.modOrder)),
+		CertDER: make([][]byte, 0, len(s.certs)),
+	}
+	for _, key := range s.modOrder {
+		snap.Moduli = append(snap.Moduli, []byte(key))
+	}
+	var err error
+	for _, c := range s.certs {
+		var der []byte
+		der, err = c.Marshal()
+		if err != nil {
+			break
+		}
+		snap.CertDER = append(snap.CertDER, der)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("scanstore: save: %w", err)
+	}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
+		return fmt.Errorf("scanstore: save: %w", err)
+	}
+	return zw.Close()
+}
+
+// Load reads a store previously written with Save.
+func Load(r io.Reader) (*Store, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("scanstore: load: %w", err)
+	}
+	defer zr.Close()
+	var snap snapshot
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("scanstore: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("scanstore: unsupported snapshot version %d", snap.Version)
+	}
+	s := New()
+	for _, der := range snap.CertDER {
+		c, err := certs.Parse(der)
+		if err != nil {
+			return nil, fmt.Errorf("scanstore: load cert: %w", err)
+		}
+		fp, err := c.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("scanstore: load cert: %w", err)
+		}
+		s.certs[fp] = c
+	}
+	for _, mod := range snap.Moduli {
+		s.addModulusLocked(string(mod), new(big.Int).SetBytes(mod))
+	}
+	s.records = snap.Records
+	// Integrity: every record's cert fingerprint must resolve (bare keys
+	// have a zero fingerprint).
+	for i, rec := range s.records {
+		if rec.CertFP == ([32]byte{}) {
+			continue
+		}
+		if _, ok := s.certs[rec.CertFP]; !ok {
+			return nil, fmt.Errorf("scanstore: record %d references missing certificate", i)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,71 @@
+package scanstore
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	c1, c2 := newCert(t, 60), newCert(t, 61)
+	s.AddCertObservation("10.0.0.1", date(2012, 6, 15), SourceEcosystem, HTTPS, c1)
+	s.AddCertObservation("10.0.0.2", date(2014, 4, 15), SourceRapid7, HTTPS, c2)
+	s.AddCertObservation("10.0.0.1", date(2014, 4, 15), SourceRapid7, HTTPS, c1)
+	s.AddBareKeyObservation("10.9.9.9", date(2015, 10, 29), SourceCensys, SSH, big.NewInt(0xF00DF00D1))
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := s.Stats(""), got.Stats("")
+	if a != b {
+		t.Errorf("stats mismatch: %+v vs %+v", a, b)
+	}
+	mods1, keys1 := s.DistinctModuli()
+	mods2, keys2 := got.DistinctModuli()
+	if len(mods1) != len(mods2) {
+		t.Fatalf("moduli count: %d vs %d", len(mods1), len(mods2))
+	}
+	for i := range mods1 {
+		if mods1[i].Cmp(mods2[i]) != 0 || keys1[i] != keys2[i] {
+			t.Errorf("modulus %d mismatch (order must be preserved)", i)
+		}
+	}
+	fp, _ := c1.Fingerprint()
+	rc := got.Cert(fp)
+	if rc == nil || rc.Subject != c1.Subject {
+		t.Error("certificate content lost")
+	}
+	if err := rc.Verify(nil); err != nil {
+		t.Errorf("reloaded certificate fails verification: %v", err)
+	}
+	if len(got.Records()) != 4 {
+		t.Errorf("records: %d", len(got.Records()))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats("").HostRecords != 0 {
+		t.Error("empty store should stay empty")
+	}
+}

@@ -1,0 +1,137 @@
+// Package sshkeys implements the ssh-rsa public-key wire format (RFC 4253
+// section 6.6: string "ssh-rsa", mpint e, mpint n) and the one-line
+// authorized_keys/known_hosts representation. The paper's batch GCD
+// corpus included 6.3M RSA SSH host keys (Table 4); this package is the
+// ingestion path for such keys, used by cmd/keygen -format ssh and
+// cmd/batchgcd.
+package sshkeys
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// KeyType is the algorithm name carried in the blob.
+const KeyType = "ssh-rsa"
+
+// maxBlob bounds a key blob to keep parsers safe on hostile input.
+const maxBlob = 1 << 16
+
+// PublicKey is an RSA public key in SSH terms.
+type PublicKey struct {
+	E int
+	N *big.Int
+}
+
+// Marshal encodes the key as an ssh-rsa wire blob.
+func (k *PublicKey) Marshal() []byte {
+	e := big.NewInt(int64(k.E))
+	var out []byte
+	out = appendString(out, []byte(KeyType))
+	out = appendMPInt(out, e)
+	out = appendMPInt(out, k.N)
+	return out
+}
+
+// MarshalAuthorizedKey renders the one-line format: "ssh-rsa <base64>
+// <comment>\n".
+func (k *PublicKey) MarshalAuthorizedKey(comment string) string {
+	line := KeyType + " " + base64.StdEncoding.EncodeToString(k.Marshal())
+	if comment != "" {
+		line += " " + comment
+	}
+	return line + "\n"
+}
+
+// Parse decodes an ssh-rsa wire blob.
+func Parse(blob []byte) (*PublicKey, error) {
+	if len(blob) > maxBlob {
+		return nil, errors.New("sshkeys: blob too large")
+	}
+	algo, rest, err := readString(blob)
+	if err != nil {
+		return nil, err
+	}
+	if string(algo) != KeyType {
+		return nil, fmt.Errorf("sshkeys: unsupported key type %q", algo)
+	}
+	eBytes, rest, err := readString(rest)
+	if err != nil {
+		return nil, err
+	}
+	nBytes, rest, err := readString(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("sshkeys: trailing data after key")
+	}
+	e := new(big.Int).SetBytes(eBytes)
+	if !e.IsInt64() || e.Int64() <= 0 || e.Int64() > 1<<31 {
+		return nil, errors.New("sshkeys: exponent out of range")
+	}
+	n := new(big.Int).SetBytes(nBytes)
+	if n.Sign() <= 0 {
+		return nil, errors.New("sshkeys: non-positive modulus")
+	}
+	return &PublicKey{E: int(e.Int64()), N: n}, nil
+}
+
+// ParseAuthorizedKey parses one "ssh-rsa <base64> [comment]" line,
+// returning the key and the comment.
+func ParseAuthorizedKey(line string) (*PublicKey, string, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 {
+		return nil, "", errors.New("sshkeys: malformed authorized_keys line")
+	}
+	if fields[0] != KeyType {
+		return nil, "", fmt.Errorf("sshkeys: unsupported key type %q", fields[0])
+	}
+	blob, err := base64.StdEncoding.DecodeString(fields[1])
+	if err != nil {
+		return nil, "", fmt.Errorf("sshkeys: bad base64: %w", err)
+	}
+	key, err := Parse(blob)
+	if err != nil {
+		return nil, "", err
+	}
+	comment := ""
+	if len(fields) > 2 {
+		comment = strings.Join(fields[2:], " ")
+	}
+	return key, comment, nil
+}
+
+// appendString appends an RFC 4251 string (uint32 length + bytes).
+func appendString(out, s []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(s)))
+	return append(append(out, hdr[:]...), s...)
+}
+
+// appendMPInt appends an RFC 4251 mpint: minimal big-endian two's
+// complement; a leading zero byte is inserted when the high bit is set so
+// positive values stay positive.
+func appendMPInt(out []byte, v *big.Int) []byte {
+	b := v.Bytes()
+	if len(b) > 0 && b[0]&0x80 != 0 {
+		b = append([]byte{0}, b...)
+	}
+	return appendString(out, b)
+}
+
+// readString consumes one RFC 4251 string.
+func readString(in []byte) (s, rest []byte, err error) {
+	if len(in) < 4 {
+		return nil, nil, errors.New("sshkeys: truncated length")
+	}
+	n := binary.BigEndian.Uint32(in[:4])
+	if n > maxBlob || int(n) > len(in)-4 {
+		return nil, nil, errors.New("sshkeys: truncated string")
+	}
+	return in[4 : 4+n], in[4+n:], nil
+}

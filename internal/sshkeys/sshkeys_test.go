@@ -1,0 +1,155 @@
+package sshkeys
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+func testKey(t *testing.T, seed int64) *PublicKey {
+	t.Helper()
+	k, err := weakrsa.GenerateKey(rand.New(rand.NewSource(seed)), weakrsa.Options{Bits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &PublicKey{E: k.E, N: k.N}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	want := testKey(t, 1)
+	got, err := Parse(want.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.E != want.E || got.N.Cmp(want.N) != 0 {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestAuthorizedKeyRoundTrip(t *testing.T) {
+	want := testKey(t, 2)
+	line := want.MarshalAuthorizedKey("root@firewall-a")
+	if !strings.HasPrefix(line, "ssh-rsa ") || !strings.HasSuffix(line, "root@firewall-a\n") {
+		t.Errorf("line shape: %q", line)
+	}
+	got, comment, err := ParseAuthorizedKey(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(want.N) != 0 || got.E != want.E {
+		t.Error("key mismatch")
+	}
+	if comment != "root@firewall-a" {
+		t.Errorf("comment %q", comment)
+	}
+	// Without a comment.
+	got2, comment2, err := ParseAuthorizedKey(want.MarshalAuthorizedKey(""))
+	if err != nil || comment2 != "" || got2.N.Cmp(want.N) != 0 {
+		t.Errorf("no-comment parse: %v %q", err, comment2)
+	}
+}
+
+func TestMPIntLeadingZero(t *testing.T) {
+	// A modulus with the top bit set must get a sign byte in the mpint
+	// encoding (interoperability with real SSH implementations).
+	n, _ := new(big.Int).SetString("ff00000000000000000000000000000001", 16)
+	k := &PublicKey{E: 65537, N: n}
+	blob := k.Marshal()
+	got, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(n) != 0 {
+		t.Error("high-bit modulus round trip failed")
+	}
+	// The mpint for N inside the blob must carry the 0x00 prefix: find
+	// the length of the final string and check its first byte.
+	// Layout: 4+7 (type) + 4+3 (e=65537) + 4 + mpint(n).
+	nField := blob[4+7+4+3+4:]
+	if nField[0] != 0x00 {
+		t.Errorf("missing sign byte: % x", nField[:2])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0, 0, 0},
+		[]byte("not a blob"),
+		appendString(nil, []byte("ssh-dss")),
+		(&PublicKey{E: 3, N: big.NewInt(15)}).Marshal()[:10], // truncated
+		append((&PublicKey{E: 3, N: big.NewInt(15)}).Marshal(), 0xFF),
+	}
+	for i, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, _, err := ParseAuthorizedKey("ssh-rsa"); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, _, err := ParseAuthorizedKey("ssh-ed25519 AAAA x"); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, _, err := ParseAuthorizedKey("ssh-rsa !!! x"); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}
+
+func TestParseRejectsBadNumbers(t *testing.T) {
+	// Zero modulus.
+	blob := appendString(nil, []byte(KeyType))
+	blob = appendMPInt(blob, big.NewInt(65537))
+	blob = appendMPInt(blob, big.NewInt(0))
+	if _, err := Parse(blob); err == nil {
+		t.Error("zero modulus accepted")
+	}
+	// Oversized exponent.
+	blob2 := appendString(nil, []byte(KeyType))
+	blob2 = appendMPInt(blob2, new(big.Int).Lsh(big.NewInt(1), 40))
+	blob2 = appendMPInt(blob2, big.NewInt(15))
+	if _, err := Parse(blob2); err == nil {
+		t.Error("huge exponent accepted")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw uint64, eRaw uint16) bool {
+		n := new(big.Int).SetUint64(raw | 1)
+		if n.Sign() == 0 {
+			return true
+		}
+		e := int(eRaw)%65536 + 3
+		k := &PublicKey{E: e, N: n}
+		got, _, err := ParseAuthorizedKey(k.MarshalAuthorizedKey("c"))
+		if err != nil {
+			return false
+		}
+		return got.E == e && got.N.Cmp(n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzParseAuthorizedKey(f *testing.F) {
+	k := &PublicKey{E: 65537, N: big.NewInt(0xDEADBEEF12345)}
+	f.Add(k.MarshalAuthorizedKey("seed"))
+	f.Add("ssh-rsa AAAA")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		key, _, err := ParseAuthorizedKey(line)
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip.
+		got, _, err := ParseAuthorizedKey(key.MarshalAuthorizedKey(""))
+		if err != nil || got.N.Cmp(key.N) != 0 {
+			t.Fatalf("accepted key does not round trip: %v", err)
+		}
+	})
+}

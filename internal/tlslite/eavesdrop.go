@@ -1,0 +1,128 @@
+package tlslite
+
+import (
+	"errors"
+	"io"
+	"math/big"
+	"sync"
+
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+// Tap records the bytes flowing in both directions of a connection, the
+// way a network observer on the path would. Wrap each side's transport
+// with TapConn and hand the Tap to an Eavesdropper afterwards.
+type Tap struct {
+	mu sync.Mutex
+	// toServer and toClient are the raw captured byte streams.
+	toServer, toClient []byte
+}
+
+// TapConn wraps conn so that writes are recorded as traffic toward the
+// peer and reads as traffic from it. Use on the CLIENT side transport:
+// writes are client->server.
+func (t *Tap) TapConn(conn io.ReadWriter) io.ReadWriter {
+	return &tappedConn{conn: conn, tap: t}
+}
+
+type tappedConn struct {
+	conn io.ReadWriter
+	tap  *Tap
+}
+
+func (c *tappedConn) Write(p []byte) (int, error) {
+	n, err := c.conn.Write(p)
+	c.tap.mu.Lock()
+	c.tap.toServer = append(c.tap.toServer, p[:n]...)
+	c.tap.mu.Unlock()
+	return n, err
+}
+
+func (c *tappedConn) Read(p []byte) (int, error) {
+	n, err := c.conn.Read(p)
+	c.tap.mu.Lock()
+	c.tap.toClient = append(c.tap.toClient, p[:n]...)
+	c.tap.mu.Unlock()
+	return n, err
+}
+
+// Transcript is a decrypted session as reconstructed by the attacker.
+type Transcript struct {
+	// ClientRecords and ServerRecords are the plaintext records in each
+	// direction.
+	ClientRecords [][]byte
+	ServerRecords [][]byte
+}
+
+// Decrypt performs the paper's passive attack: given a full packet
+// capture of one RSA-key-exchange session and the server's FACTORED
+// private key, it recovers the premaster secret and decrypts every
+// record in both directions. No interaction with either endpoint occurs.
+func (t *Tap) Decrypt(serverKey *weakrsa.PrivateKey) (*Transcript, error) {
+	t.mu.Lock()
+	toServer := append([]byte(nil), t.toServer...)
+	toClient := append([]byte(nil), t.toClient...)
+	t.mu.Unlock()
+
+	sr := &sliceReader{data: toServer}
+	cr := &sliceReader{data: toClient}
+
+	// client->server: ClientHello, then the encrypted premaster.
+	if _, err := readMsg(sr); err != nil {
+		return nil, errors.New("tlslite: capture missing client hello")
+	}
+	// server->client: ServerHello (skip).
+	if _, err := readMsg(cr); err != nil {
+		return nil, errors.New("tlslite: capture missing server hello")
+	}
+	encPre, err := readMsg(sr)
+	if err != nil {
+		return nil, errors.New("tlslite: capture missing key exchange")
+	}
+	pre, err := serverKey.Decrypt(new(big.Int).SetBytes(encPre))
+	if err != nil {
+		return nil, err
+	}
+	cw, sw := deriveKeys(pre.Bytes())
+
+	out := &Transcript{}
+	decryptAll := func(r *sliceReader, key []byte) ([][]byte, error) {
+		var records [][]byte
+		for ctr := uint64(0); ; ctr++ {
+			ct, err := readMsg(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return records, nil
+				}
+				return records, err
+			}
+			pad := keystream(key, ctr, len(ct))
+			for i := range ct {
+				ct[i] ^= pad[i]
+			}
+			records = append(records, ct)
+		}
+	}
+	if out.ClientRecords, err = decryptAll(sr, cw); err != nil {
+		return nil, err
+	}
+	if out.ServerRecords, err = decryptAll(cr, sw); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sliceReader is a minimal io.Reader over captured bytes.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}

@@ -1,0 +1,275 @@
+// Package tlslite implements a miniature TLS-style session protocol with
+// RSA key exchange, sufficient to demonstrate the security consequence at
+// the heart of the paper (Section 2.1): when a server's RSA key is
+// factorable, an attacker who merely *records* traffic to a server that
+// negotiates RSA key exchange can decrypt every session offline — no
+// man-in-the-middle needed. 74% of the vulnerable devices in the paper's
+// April 2016 data supported only RSA key exchange.
+//
+// The protocol (all messages length-prefixed with a 4-byte big-endian
+// size):
+//
+//	C -> S  ClientHello   (offered suites)
+//	S -> C  ServerHello   (chosen suite, DER certificate)
+//	C -> S  KeyExchange   (premaster secret encrypted to the server key)
+//	C <-> S Records       (XOR-keystream "encryption" keyed from the
+//	                      premaster — a stand-in cipher; the attack is
+//	                      about key exchange, not the record layer)
+//
+// Forward-secret suites are deliberately not implemented beyond
+// negotiation: a server that requires ECDHE simply refuses RSA key
+// exchange, which is all the analysis needs.
+package tlslite
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+// Suite identifiers, mirroring devices.SuiteRSA / SuiteECDHE.
+const (
+	SuiteRSA   = "RSA"
+	SuiteECDHE = "ECDHE"
+)
+
+// maxMsg bounds a single protocol message.
+const maxMsg = 1 << 20
+
+// ErrNoCommonSuite is returned when negotiation fails.
+var ErrNoCommonSuite = errors.New("tlslite: no common cipher suite")
+
+// writeMsg writes a length-prefixed message.
+func writeMsg(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads a length-prefixed message.
+func readMsg(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMsg {
+		return nil, fmt.Errorf("tlslite: message of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Session is an established connection: both ends hold the record keys.
+type Session struct {
+	conn io.ReadWriter
+	// Suite is the negotiated key exchange.
+	Suite string
+	// PeerCert is the certificate presented by the server (client side
+	// only).
+	PeerCert         *certs.Certificate
+	sendKey, recvKey []byte
+	sendCtr, recvCtr uint64
+}
+
+// keystream derives a per-record XOR pad.
+func keystream(key []byte, ctr uint64, n int) []byte {
+	out := make([]byte, 0, n)
+	var block [8]byte
+	for i := uint64(0); len(out) < n; i++ {
+		binary.BigEndian.PutUint64(block[:], ctr<<20|i)
+		h := sha256.New()
+		h.Write(key)
+		h.Write(block[:])
+		out = append(out, h.Sum(nil)...)
+	}
+	return out[:n]
+}
+
+// Send encrypts and writes one record.
+func (s *Session) Send(plaintext []byte) error {
+	pad := keystream(s.sendKey, s.sendCtr, len(plaintext))
+	s.sendCtr++
+	ct := make([]byte, len(plaintext))
+	for i := range plaintext {
+		ct[i] = plaintext[i] ^ pad[i]
+	}
+	return writeMsg(s.conn, ct)
+}
+
+// Recv reads and decrypts one record.
+func (s *Session) Recv() ([]byte, error) {
+	ct, err := readMsg(s.conn)
+	if err != nil {
+		return nil, err
+	}
+	pad := keystream(s.recvKey, s.recvCtr, len(ct))
+	s.recvCtr++
+	for i := range ct {
+		ct[i] ^= pad[i]
+	}
+	return ct, nil
+}
+
+// deriveKeys splits record keys from the premaster secret.
+func deriveKeys(premaster []byte) (clientWrite, serverWrite []byte) {
+	cw := sha256.Sum256(append([]byte("client write|"), premaster...))
+	sw := sha256.Sum256(append([]byte("server write|"), premaster...))
+	return cw[:], sw[:]
+}
+
+// ServerConfig holds the server identity.
+type ServerConfig struct {
+	Cert *certs.Certificate
+	Key  *weakrsa.PrivateKey
+	// Suites the server accepts; nil means {RSA, ECDHE}.
+	Suites []string
+}
+
+func (c *ServerConfig) suites() []string {
+	if len(c.Suites) == 0 {
+		return []string{SuiteRSA, SuiteECDHE}
+	}
+	return c.Suites
+}
+
+// Handshake performs the server side over conn.
+func (c *ServerConfig) Handshake(conn io.ReadWriter) (*Session, error) {
+	helloRaw, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	offered := splitList(helloRaw)
+	suite, ok := chooseSuite(offered, c.suites())
+	if !ok {
+		writeMsg(conn, []byte("alert:no common suite"))
+		return nil, ErrNoCommonSuite
+	}
+	if suite != SuiteRSA {
+		// The simulation only carries RSA key exchange to completion;
+		// negotiating ECDHE tells the peer to go elsewhere.
+		writeMsg(conn, []byte("alert:ECDHE unimplemented in tlslite"))
+		return nil, fmt.Errorf("tlslite: negotiated %s, which this substrate does not carry further", suite)
+	}
+	der, err := c.Cert.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeMsg(conn, append([]byte("hello:"+suite+":"), der...)); err != nil {
+		return nil, err
+	}
+	encPre, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	ct := new(big.Int).SetBytes(encPre)
+	pre, err := c.Key.Decrypt(ct)
+	if err != nil {
+		return nil, err
+	}
+	cw, sw := deriveKeys(pre.Bytes())
+	return &Session{conn: conn, Suite: suite, sendKey: sw, recvKey: cw}, nil
+}
+
+// ClientConfig holds client preferences.
+type ClientConfig struct {
+	// Suites offered, in preference order; nil means {RSA}.
+	Suites []string
+	// Rand supplies the premaster secret; required.
+	Rand io.Reader
+}
+
+// Handshake performs the client side over conn.
+func (c *ClientConfig) Handshake(conn io.ReadWriter) (*Session, error) {
+	offered := c.Suites
+	if len(offered) == 0 {
+		offered = []string{SuiteRSA}
+	}
+	if err := writeMsg(conn, joinList(offered)); err != nil {
+		return nil, err
+	}
+	resp, err := readMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) > 6 && string(resp[:6]) == "alert:" {
+		return nil, fmt.Errorf("tlslite: server alert: %s", resp[6:])
+	}
+	const prefix = "hello:" + SuiteRSA + ":"
+	if len(resp) < len(prefix) || string(resp[:len(prefix)]) != prefix {
+		return nil, errors.New("tlslite: malformed server hello")
+	}
+	cert, err := certs.Parse(resp[len(prefix):])
+	if err != nil {
+		return nil, err
+	}
+	// Premaster: 32 random bytes, reduced below N for textbook RSA.
+	pre := make([]byte, 32)
+	if c.Rand == nil {
+		return nil, errors.New("tlslite: ClientConfig.Rand is required")
+	}
+	if _, err := io.ReadFull(c.Rand, pre); err != nil {
+		return nil, err
+	}
+	m := new(big.Int).SetBytes(pre)
+	m.Mod(m, cert.N)
+	pub := weakrsa.PublicKey{N: cert.N, E: cert.E}
+	ct, err := pub.Encrypt(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeMsg(conn, ct.Bytes()); err != nil {
+		return nil, err
+	}
+	cw, sw := deriveKeys(m.Bytes())
+	return &Session{conn: conn, Suite: SuiteRSA, PeerCert: cert, sendKey: cw, recvKey: sw}, nil
+}
+
+func splitList(raw []byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(raw); i++ {
+		if i == len(raw) || raw[i] == ',' {
+			if i > start {
+				out = append(out, string(raw[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func joinList(items []string) []byte {
+	out := []byte{}
+	for i, s := range items {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, s...)
+	}
+	return out
+}
+
+func chooseSuite(offered, accepted []string) (string, bool) {
+	for _, o := range offered {
+		for _, a := range accepted {
+			if o == a {
+				return o, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,284 @@
+package tlslite
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+func serverIdentity(t *testing.T, seed int64) *ServerConfig {
+	t.Helper()
+	key, err := weakrsa.GenerateKey(rand.New(rand.NewSource(seed)), weakrsa.Options{Bits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := certs.SelfSigned(big.NewInt(seed), certs.Name{CommonName: "system generated"},
+		time.Unix(0, 0), time.Unix(1<<40, 0), nil, key.N, key.E, key.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ServerConfig{Cert: cert, Key: key}
+}
+
+// handshakePair runs a full handshake over an in-memory pipe, optionally
+// through a Tap on the client side, returning both sessions.
+func handshakePair(t *testing.T, srv *ServerConfig, cli *ClientConfig, tap *Tap) (*Session, *Session) {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	t.Cleanup(func() { cConn.Close(); sConn.Close() })
+	cConn.SetDeadline(time.Now().Add(5 * time.Second))
+	sConn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	var clientSide = func() (any, error) { return cli.Handshake(cConn) }
+	if tap != nil {
+		tapped := tap.TapConn(cConn)
+		clientSide = func() (any, error) { return cli.Handshake(tapped) }
+	}
+	type result struct {
+		sess any
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		s, err := clientSide()
+		ch <- result{s, err}
+	}()
+	sSess, sErr := srv.Handshake(sConn)
+	cRes := <-ch
+	if sErr != nil {
+		t.Fatalf("server handshake: %v", sErr)
+	}
+	if cRes.err != nil {
+		t.Fatalf("client handshake: %v", cRes.err)
+	}
+	return cRes.sess.(*Session), sSess
+}
+
+func TestHandshakeAndRecords(t *testing.T) {
+	srv := serverIdentity(t, 1)
+	cli := &ClientConfig{Rand: rand.New(rand.NewSource(7))}
+	cSess, sSess := handshakePair(t, srv, cli, nil)
+
+	if cSess.Suite != SuiteRSA || sSess.Suite != SuiteRSA {
+		t.Errorf("suites: %s / %s", cSess.Suite, sSess.Suite)
+	}
+	if cSess.PeerCert == nil || cSess.PeerCert.N.Cmp(srv.Cert.N) != 0 {
+		t.Error("client did not capture the server certificate")
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cSess.Send([]byte("GET /login user=admin pass=hunter2"))
+	}()
+	got, err := sSess.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "GET /login user=admin pass=hunter2" {
+		t.Errorf("server received %q", got)
+	}
+
+	go func() {
+		done <- sSess.Send([]byte("200 OK session=s3cret"))
+	}()
+	reply, err := cSess.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "200 OK session=s3cret" {
+		t.Errorf("client received %q", reply)
+	}
+}
+
+func TestRecordsAreNotPlaintextOnTheWire(t *testing.T) {
+	srv := serverIdentity(t, 2)
+	tap := &Tap{}
+	cli := &ClientConfig{Rand: rand.New(rand.NewSource(9))}
+	cSess, sSess := handshakePair(t, srv, cli, tap)
+
+	secret := []byte("password=correct-horse-battery")
+	done := make(chan error, 1)
+	go func() { done <- cSess.Send(secret) }()
+	if _, err := sSess.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(tap.toServer, secret) {
+		t.Error("record layer leaked plaintext on the wire")
+	}
+}
+
+func TestPassiveDecryptionWithFactoredKey(t *testing.T) {
+	srv := serverIdentity(t, 3)
+	tap := &Tap{}
+	cli := &ClientConfig{Rand: rand.New(rand.NewSource(11))}
+	cSess, sSess := handshakePair(t, srv, cli, tap)
+
+	msgs := [][]byte{
+		[]byte("POST /mgmt password=admin123"),
+		[]byte("GET /vpn-config"),
+	}
+	for _, m := range msgs {
+		done := make(chan error, 1)
+		go func(m []byte) { done <- cSess.Send(m) }(m)
+		if _, err := sSess.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- sSess.Send([]byte("admin-cookie=TOPSECRET")) }()
+	if _, err := cSess.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker factored the server's modulus via batch GCD; here we
+	// simulate that by reconstructing the private key from one factor.
+	recovered, err := weakrsa.RecoverPrivateKey(&weakrsa.PublicKey{N: srv.Cert.N, E: srv.Cert.E}, srv.Key.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transcript, err := tap.Decrypt(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(transcript.ClientRecords) != 2 {
+		t.Fatalf("client records decrypted: %d", len(transcript.ClientRecords))
+	}
+	for i, m := range msgs {
+		if !bytes.Equal(transcript.ClientRecords[i], m) {
+			t.Errorf("record %d: got %q want %q", i, transcript.ClientRecords[i], m)
+		}
+	}
+	if len(transcript.ServerRecords) != 1 || !bytes.Equal(transcript.ServerRecords[0], []byte("admin-cookie=TOPSECRET")) {
+		t.Errorf("server records: %q", transcript.ServerRecords)
+	}
+}
+
+func TestPassiveDecryptionWrongKeyFails(t *testing.T) {
+	srv := serverIdentity(t, 4)
+	other := serverIdentity(t, 5)
+	tap := &Tap{}
+	cli := &ClientConfig{Rand: rand.New(rand.NewSource(13))}
+	cSess, sSess := handshakePair(t, srv, cli, tap)
+	done := make(chan error, 1)
+	go func() { done <- cSess.Send([]byte("secret payload")) }()
+	if _, err := sSess.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	transcript, err := tap.Decrypt(other.Key)
+	if err != nil {
+		// Acceptable: decryption may fail outright (ciphertext out of
+		// range for the other modulus).
+		return
+	}
+	for _, rec := range transcript.ClientRecords {
+		if bytes.Equal(rec, []byte("secret payload")) {
+			t.Error("wrong key decrypted the session")
+		}
+	}
+}
+
+func TestSuiteNegotiationRefusal(t *testing.T) {
+	// An ECDHE-only server refuses an RSA-only client.
+	srv := serverIdentity(t, 6)
+	srv.Suites = []string{SuiteECDHE}
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	cConn.SetDeadline(time.Now().Add(5 * time.Second))
+	sConn.SetDeadline(time.Now().Add(5 * time.Second))
+	cli := &ClientConfig{Suites: []string{SuiteRSA}, Rand: rand.New(rand.NewSource(15))}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Handshake(cConn)
+		errCh <- err
+	}()
+	if _, err := srv.Handshake(sConn); err != ErrNoCommonSuite {
+		t.Errorf("server error = %v, want ErrNoCommonSuite", err)
+	}
+	if err := <-errCh; err == nil {
+		t.Error("client should fail on refusal")
+	}
+}
+
+func TestClientRequiresRand(t *testing.T) {
+	srv := serverIdentity(t, 8)
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	cConn.SetDeadline(time.Now().Add(5 * time.Second))
+	sConn.SetDeadline(time.Now().Add(5 * time.Second))
+	go srv.Handshake(sConn)
+	cli := &ClientConfig{}
+	if _, err := cli.Handshake(cConn); err == nil {
+		t.Error("nil Rand accepted")
+	}
+}
+
+func TestSplitJoinList(t *testing.T) {
+	for _, c := range [][]string{nil, {"RSA"}, {"RSA", "ECDHE"}} {
+		got := splitList(joinList(c))
+		if len(got) != len(c) {
+			t.Errorf("round trip %v -> %v", c, got)
+			continue
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Errorf("round trip %v -> %v", c, got)
+			}
+		}
+	}
+}
+
+// FuzzServerHandshake feeds the server arbitrary client bytes: internet-
+// facing handshake code must fail cleanly, never panic or hang.
+func FuzzServerHandshake(f *testing.F) {
+	f.Add([]byte("RSA"))
+	f.Add([]byte{0, 0, 0, 3, 'R', 'S', 'A'})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	key, err := weakrsa.GenerateKey(rand.New(rand.NewSource(77)), weakrsa.Options{Bits: 128})
+	if err != nil {
+		f.Fatal(err)
+	}
+	cert, err := certs.SelfSigned(big.NewInt(77), certs.Name{CommonName: "fuzz"},
+		time.Unix(0, 0), time.Unix(1, 0), nil, key.N, key.E, key.D)
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := &ServerConfig{Cert: cert, Key: key}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := &scriptedConn{in: bytes.NewReader(data)}
+		// Must return (almost always an error); panics fail the fuzz.
+		srv.Handshake(conn)
+	})
+}
+
+// scriptedConn replays fuzz bytes as reads and discards writes.
+type scriptedConn struct{ in *bytes.Reader }
+
+func (c *scriptedConn) Read(p []byte) (int, error)  { return c.in.Read(p) }
+func (c *scriptedConn) Write(p []byte) (int, error) { return len(p), nil }
