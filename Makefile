@@ -1,0 +1,29 @@
+# Development targets for the weakkeys reproduction.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-pipeline
+
+# ci is the full gate: compile everything, vet, and run the test suite
+# under the race detector.
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-pipeline measures the stage-wrapping overhead of internal/pipeline
+# against direct calls (expected: well under 1%).
+bench-pipeline:
+	$(GO) test -run xxx -bench 'BenchmarkPipelineOverhead' .

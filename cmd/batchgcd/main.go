@@ -75,7 +75,7 @@ func main() {
 			len(results), len(moduli), time.Since(start).Round(time.Millisecond))
 		if *k >= 2 {
 			fmt.Fprintf(os.Stderr, "k=%d: total CPU %v, peak per-node tree %d bytes\n",
-				runStats.Subsets, runStats.TotalCPU.Round(time.Millisecond), runStats.PeakNodeMem)
+				runStats.Subsets, runStats.CPU.Round(time.Millisecond), runStats.Bytes)
 		}
 	}
 }

@@ -81,10 +81,13 @@ func main() {
 	}()
 
 	fmt.Printf("scanning %d devices (%d with entropy-hole firmware)...\n", *nDevices, *nVuln)
-	results := scanner.Scan(context.Background(), targets, scanner.Options{
+	results, err := scanner.Scan(context.Background(), targets, scanner.Options{
 		Workers:        *workers,
 		ProbeHeartbeat: *heartbleed,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	var moduli []*big.Int
 	ok := 0
 	for _, r := range results {

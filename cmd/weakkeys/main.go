@@ -8,6 +8,7 @@
 //	weakkeys -scale 0.2 -table 1  # quick run, dataset summary
 //	weakkeys -figure 3            # the Juniper time series
 //	weakkeys -csv Juniper         # CSV series for external plotting
+//	weakkeys -metrics -table 1    # plus the per-stage pipeline report
 package main
 
 import (
@@ -15,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/factorable/weakkeys/internal/analysis"
 	"github.com/factorable/weakkeys/internal/core"
+	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/report"
 	"github.com/factorable/weakkeys/internal/scanstore"
 )
@@ -42,6 +45,7 @@ func main() {
 		export   = flag.String("export", "", "write per-vendor CSV series into a directory")
 		saveTo   = flag.String("save", "", "save the scan corpus to a file after the run")
 		loadFrom = flag.String("load", "", "analyze a previously saved scan corpus instead of simulating")
+		metrics  = flag.Bool("metrics", false, "print the per-stage pipeline report (wall, CPU, items in/out) after the run")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -49,6 +53,26 @@ func main() {
 	logf := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// Ctrl-C cancels the pipeline end to end: the context reaches every
+	// stage, including the product-tree levels inside the batch GCD, so
+	// interrupting mid-computation returns promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Progress lines come from the pipeline's own stage events.
+	progress := func(ev pipeline.Event) {
+		switch ev.Kind {
+		case pipeline.StageStart:
+			logf("[%d/%d] %s...", ev.Index+1, ev.Total, ev.Stage)
+		case pipeline.StageDone:
+			logf("[%d/%d] %s done in %v (%d in, %d out)",
+				ev.Index+1, ev.Total, ev.Stage, ev.Stats.Wall.Round(time.Millisecond),
+				ev.Stats.ItemsIn, ev.Stats.ItemsOut)
+		case pipeline.StageError:
+			logf("[%d/%d] %s failed: %v", ev.Index+1, ev.Total, ev.Stage, ev.Err)
 		}
 	}
 
@@ -68,13 +92,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "weakkeys:", lerr)
 			os.Exit(1)
 		}
-		study, err = core.AnalyzeStore(context.Background(), store, core.Options{
-			KeyBits: *bits,
-			Subsets: *subsets,
+		study, err = core.AnalyzeStore(ctx, store, core.Options{
+			KeyBits:  *bits,
+			Subsets:  *subsets,
+			Progress: progress,
 		})
 	} else {
-		logf("simulating ecosystem and running pipeline (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
-		study, err = core.Run(context.Background(), core.Options{
+		logf("running pipeline (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
+		study, err = core.Run(ctx, core.Options{
 			Seed:           *seed,
 			KeyBits:        *bits,
 			Scale:          *scale,
@@ -82,6 +107,12 @@ func main() {
 			MITMRate:       *mitm,
 			BitErrorRate:   *bitErr,
 			OtherProtocols: *other,
+			Progress:       progress,
+			HarvestProgress: func(done, total int) {
+				if done%24 == 0 {
+					logf("  harvest: month %d/%d", done, total)
+				}
+			},
 		})
 	}
 	if err != nil {
@@ -91,6 +122,12 @@ func main() {
 	cs := study.Analyzer.CorpusStats()
 	logf("pipeline done in %v: %d host records, %d distinct moduli, %d factored",
 		time.Since(start).Round(time.Millisecond), cs.HTTPSHostRecords, cs.TotalDistinctModuli, cs.VulnerableModuli)
+	if *metrics {
+		if err := study.Report.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "weakkeys:", err)
+			os.Exit(1)
+		}
+	}
 
 	out := os.Stdout
 	fail := func(err error) {

@@ -87,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("partitioned (k=%2d):    %8v  (%d vulnerable, total CPU %v, peak node tree %d KiB)\n",
 		*k, time.Since(start).Round(time.Millisecond), len(dist),
-		stats.TotalCPU.Round(time.Millisecond), stats.PeakNodeMem/1024)
+		stats.CPU.Round(time.Millisecond), stats.Bytes/1024)
 
 	if len(single) != len(dist) {
 		log.Fatalf("algorithms disagree: %d vs %d", len(single), len(dist))

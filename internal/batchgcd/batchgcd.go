@@ -12,7 +12,9 @@
 package batchgcd
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/big"
 
 	"github.com/factorable/weakkeys/internal/prodtree"
@@ -40,18 +42,35 @@ var ErrNoInput = errors.New("batchgcd: no input moduli")
 // paper's pipeline which deduplicates the 81M distinct moduli first.
 // Input values are not modified.
 func Factor(moduli []*big.Int) ([]Result, error) {
+	return FactorCtx(context.Background(), moduli)
+}
+
+// FactorCtx is Factor with cancellation: the context is plumbed into the
+// product- and remainder-tree builds (checked per tree level) and into
+// the final GCD sweep (checked every few hundred moduli), so a cancelled
+// run returns promptly — within one tree level's work — with an error
+// wrapping the context's.
+func FactorCtx(ctx context.Context, moduli []*big.Int) ([]Result, error) {
 	if len(moduli) == 0 {
 		return nil, ErrNoInput
 	}
 	distinct, backrefs := dedup(moduli)
-	tree, err := prodtree.New(distinct)
+	tree, err := prodtree.NewCtx(ctx, distinct)
 	if err != nil {
 		return nil, err
 	}
-	rems := tree.RemainderTreeSquared(tree.Root())
+	rems, err := tree.RemainderTreeSquaredCtx(ctx, tree.Root())
+	if err != nil {
+		return nil, err
+	}
 	var results []Result
 	var z, g big.Int
 	for i, n := range distinct {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("batchgcd: gcd sweep cancelled at modulus %d/%d: %w", i, len(distinct), err)
+			}
+		}
 		z.Quo(rems[i], n) // zi/Ni — exact cofactor of P/Ni modulo Ni
 		g.GCD(nil, nil, &z, n)
 		if g.Cmp(bigOne) != 0 {

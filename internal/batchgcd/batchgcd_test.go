@@ -1,6 +1,8 @@
 package batchgcd
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -234,5 +236,30 @@ func TestFactorLargerCorpus(t *testing.T) {
 		if set[i] != wantVuln[i] {
 			t.Errorf("index %d: got %v want %v", i, set[i], wantVuln[i])
 		}
+	}
+}
+
+func TestFactorCtxCancelled(t *testing.T) {
+	ps := corpus(t, 9, 10, 64)
+	moduli := make([]*big.Int, 0, 5)
+	for i := 0; i+1 < len(ps); i += 2 {
+		moduli = append(moduli, new(big.Int).Mul(ps[i], ps[i+1]))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FactorCtx(ctx, moduli); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FactorCtx err = %v, want wrapped context.Canceled", err)
+	}
+	// Uncancelled FactorCtx matches Factor.
+	got, err := FactorCtx(context.Background(), moduli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Factor(moduli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FactorCtx results = %d, Factor = %d", len(got), len(want))
 	}
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/pipeline"
+)
+
+// runCancelling runs a small study and cancels the context as soon as
+// the named stage starts, returning the error (guarded by a timeout so
+// a hung cancellation fails the test instead of the suite).
+func runCancelling(t *testing.T, stage string, subsets int) error {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Options{
+			Seed:    3,
+			KeyBits: 128,
+			Scale:   0.05,
+			Subsets: subsets,
+			Progress: func(ev pipeline.Event) {
+				if ev.Stage == stage && ev.Kind == pipeline.StageStart {
+					cancel()
+				}
+			},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run did not return promptly after cancellation during %s", stage)
+		return nil
+	}
+}
+
+func TestRunCancelledMidBatchGCD(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		subsets int
+	}{
+		{"singletree", 1},
+		{"partitioned", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runCancelling(t, StageBatchGCD, tc.subsets)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want wrapped context.Canceled", err)
+			}
+		})
+	}
+}
+
+func TestRunCancelledMidHarvest(t *testing.T) {
+	err := runCancelling(t, StageHarvest, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Scale: 0.02, KeyBits: 128}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRunReportCoversAllStages(t *testing.T) {
+	s := testStudy(t)
+	if s.Report == nil {
+		t.Fatal("study has no pipeline report")
+	}
+	want := []string{StageSimulate, StageHarvest, StageDedup, StageBatchGCD, StageFingerprint, StageAnalyze}
+	if len(s.Report.Stages) != len(want) {
+		t.Fatalf("report stages = %d, want %d", len(s.Report.Stages), len(want))
+	}
+	for i, name := range want {
+		sr := s.Report.Stages[i]
+		if sr.Name != name {
+			t.Errorf("stage %d = %s, want %s", i, sr.Name, name)
+		}
+		if sr.Err != nil {
+			t.Errorf("stage %s errored: %v", name, sr.Err)
+		}
+		if sr.Stats.Wall <= 0 {
+			t.Errorf("stage %s has no wall time", name)
+		}
+	}
+	// The dedup output feeds the batch GCD input.
+	dedup, gcd := s.Report.Stage(StageDedup), s.Report.Stage(StageBatchGCD)
+	if dedup.Stats.ItemsOut != gcd.Stats.ItemsIn {
+		t.Errorf("dedup out %d != batchgcd in %d", dedup.Stats.ItemsOut, gcd.Stats.ItemsIn)
+	}
+	if gcd.Stats.ItemsOut == 0 {
+		t.Error("batch GCD found nothing in a study with vulnerable lines")
+	}
+}

@@ -5,6 +5,13 @@
 // the complete pipeline of Hastings, Fried and Heninger's IMC 2016
 // measurement, end to end.
 //
+// The run is composed of named internal/pipeline stages — Simulate,
+// Harvest, Dedup, BatchGCD, Fingerprint, Analyze — executed under one
+// context. Every stage honours cancellation (the math kernels check it
+// mid-computation, per product-tree level) and records per-stage stats;
+// the accumulated RunReport is returned on the Study and printed by
+// `weakkeys -metrics`.
+//
 // Typical use:
 //
 //	study, err := core.Run(ctx, core.Options{})
@@ -22,8 +29,20 @@ import (
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/distgcd"
 	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/population"
 	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+// Stage names, in execution order. Run composes all six; AnalyzeStore
+// composes the last four over a pre-existing corpus.
+const (
+	StageSimulate    = "Simulate"
+	StageHarvest     = "Harvest"
+	StageDedup       = "Dedup"
+	StageBatchGCD    = "BatchGCD"
+	StageFingerprint = "Fingerprint"
+	StageAnalyze     = "Analyze"
 )
 
 // Options configures a study run. The zero value runs the full-scale
@@ -52,6 +71,28 @@ type Options struct {
 	// Lines overrides the simulated ecosystem (defaults to the full
 	// vendor set from the paper's figures).
 	Lines []population.Line
+	// Progress, when set, receives the pipeline stage events (start,
+	// done, error per stage) synchronously on the running goroutine.
+	Progress pipeline.ProgressFunc
+	// HarvestProgress, when set, is called after each simulated month of
+	// the Harvest stage with (monthsDone, monthsTotal).
+	HarvestProgress func(done, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.KeyBits == 0 {
+		o.KeyBits = 256
+	}
+	switch {
+	case o.IPReuse < 0:
+		o.IPReuse = 0
+	case o.IPReuse == 0:
+		o.IPReuse = 0.3
+	}
+	return o
 }
 
 // Study is a completed pipeline run.
@@ -69,61 +110,65 @@ type Study struct {
 	Fingerprint *fingerprint.Result
 	// Analyzer answers the longitudinal queries.
 	Analyzer *analysis.Analyzer
+	// Report is the per-stage cost profile of the run.
+	Report *pipeline.RunReport
 }
 
 // Run executes the full pipeline.
 func Run(ctx context.Context, opts Options) (*Study, error) {
-	if opts.Scale == 0 {
-		opts.Scale = 1.0
-	}
-	if opts.KeyBits == 0 {
-		opts.KeyBits = 256
-	}
-	switch {
-	case opts.IPReuse < 0:
-		opts.IPReuse = 0
-	case opts.IPReuse == 0:
-		opts.IPReuse = 0.3
-	}
+	opts = opts.withDefaults()
 	s := &Study{Opts: opts, Store: scanstore.New()}
 
-	// Phase 1: ecosystem simulation + scan harvesting (the substitution
-	// for the EFF/P&Q/Ecosystem/Rapid7/Censys corpora).
-	sim, err := population.New(population.Config{
-		Seed:           opts.Seed,
-		KeyBits:        opts.KeyBits,
-		Scale:          opts.Scale,
-		Lines:          opts.Lines,
-		MITMRate:       opts.MITMRate,
-		BitErrorRate:   opts.BitErrorRate,
-		OtherProtocols: opts.OtherProtocols,
-		IPReuse:        opts.IPReuse,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: simulation: %w", err)
-	}
-	s.Sim = sim
-	if err := sim.Run(s.Store); err != nil {
-		return nil, fmt.Errorf("core: scan harvest: %w", err)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	cliqueVendors := make(map[string]string)
-	if cl := sim.Factory().Clique("IBM"); cl != nil {
-		// Analyst knowledge: the 2012 disclosure identified the IBM
-		// nine-prime pool, so the study labels those moduli IBM even
-		// though the certificates only name customers.
-		for _, p := range cl.Primes() {
-			cliqueVendors[p.String()] = "IBM"
-		}
-	}
+	// Analyst knowledge flows from the Harvest stage into Fingerprint:
+	// the 2012 disclosure identified the IBM nine-prime pool, so the
+	// study labels those moduli IBM even though the certificates only
+	// name customers; the middlebox modulus gets its IP count tracked.
+	var cliqueVendors map[string]string
 	var extraIPKeys []string
-	if n := sim.MITMModulus(); n != nil {
-		extraIPKeys = append(extraIPKeys, string(n.Bytes()))
+
+	stages := []pipeline.Stage{
+		{Name: StageSimulate, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			// The substitution for the EFF/P&Q/Ecosystem/Rapid7/Censys
+			// corpora: a generative device-ecosystem model.
+			sim, err := population.New(population.Config{
+				Seed:           opts.Seed,
+				KeyBits:        opts.KeyBits,
+				Scale:          opts.Scale,
+				Lines:          opts.Lines,
+				MITMRate:       opts.MITMRate,
+				BitErrorRate:   opts.BitErrorRate,
+				OtherProtocols: opts.OtherProtocols,
+				IPReuse:        opts.IPReuse,
+				Progress:       opts.HarvestProgress,
+			})
+			if err != nil {
+				return fmt.Errorf("core: simulation: %w", err)
+			}
+			s.Sim = sim
+			st.ItemsOut = int64(len(sim.Lines()))
+			return nil
+		}},
+		{Name: StageHarvest, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			if err := s.Sim.Run(ctx, s.Store); err != nil {
+				return fmt.Errorf("core: scan harvest: %w", err)
+			}
+			cliqueVendors = make(map[string]string)
+			if cl := s.Sim.Factory().Clique("IBM"); cl != nil {
+				for _, p := range cl.Primes() {
+					cliqueVendors[p.String()] = "IBM"
+				}
+			}
+			if n := s.Sim.MITMModulus(); n != nil {
+				extraIPKeys = append(extraIPKeys, string(n.Bytes()))
+			}
+			st.ItemsOut = int64(s.Store.Stats("").HostRecords)
+			return nil
+		}},
 	}
-	if err := s.analyze(ctx, cliqueVendors, extraIPKeys); err != nil {
+	stages = append(stages, s.analysisStages(&cliqueVendors, &extraIPKeys)...)
+	report, err := (&pipeline.Runner{Progress: opts.Progress}).Run(ctx, stages...)
+	s.Report = report
+	if err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -132,73 +177,106 @@ func Run(ctx context.Context, opts Options) (*Study, error) {
 // AnalyzeStore runs the factoring, fingerprinting and longitudinal
 // phases over an existing scan corpus (for example one reloaded with
 // scanstore.Load) without simulating an ecosystem. Options fields that
-// configure the simulation are ignored; Subsets and KeyBits apply.
-// Without analyst clique knowledge, detected cliques are attributed by
-// the majority-label fallback only.
+// configure the simulation are ignored; Subsets, KeyBits and Progress
+// apply. Without analyst clique knowledge, detected cliques are
+// attributed by the majority-label fallback only.
 func AnalyzeStore(ctx context.Context, store *scanstore.Store, opts Options) (*Study, error) {
 	if opts.KeyBits == 0 {
 		opts.KeyBits = 256
 	}
 	s := &Study{Opts: opts, Store: store}
-	if err := s.analyze(ctx, nil, nil); err != nil {
+	var noCliques map[string]string
+	var noExtra []string
+	report, err := (&pipeline.Runner{Progress: opts.Progress}).Run(ctx, s.analysisStages(&noCliques, &noExtra)...)
+	s.Report = report
+	if err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// analyze runs phases 2-4: batch GCD, fingerprinting, analysis.
-func (s *Study) analyze(ctx context.Context, cliqueVendors map[string]string, extraIPKeys []string) error {
+// analysisStages composes phases 2-4 — Dedup, BatchGCD, Fingerprint,
+// Analyze — over s.Store. cliqueVendors and extraIPKeys are pointers
+// because the values are produced by the Harvest stage after the stage
+// list is built.
+func (s *Study) analysisStages(cliqueVendors *map[string]string, extraIPKeys *[]string) []pipeline.Stage {
 	opts := s.Opts
-	// Phase 2: batch GCD over every distinct modulus ever observed.
-	moduli, keys := s.Store.DistinctModuli()
-	if opts.Subsets >= 2 {
-		results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{Subsets: opts.Subsets})
-		if err != nil {
-			return fmt.Errorf("core: distributed batch GCD: %w", err)
-		}
-		s.Factored, s.GCDStats = results, stats
-	} else {
-		results, err := batchgcd.Factor(moduli)
-		if err != nil {
-			return fmt.Errorf("core: batch GCD: %w", err)
-		}
-		s.Factored = results
+	// Dedup output, consumed by BatchGCD and Fingerprint.
+	var moduli []*big.Int
+	var keys []string
+	return []pipeline.Stage{
+		{Name: StageDedup, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			// The corpus ingest dedup: every distinct modulus ever
+			// observed, in first-seen order (the paper's 81M distinct
+			// moduli out of hundreds of millions of host records).
+			st.ItemsIn = int64(s.Store.Stats("").HostRecords)
+			moduli, keys = s.Store.DistinctModuli()
+			st.ItemsOut = int64(len(moduli))
+			for _, m := range moduli {
+				st.Bytes += int64(len(m.Bits())) * int64(wordBytes)
+			}
+			return nil
+		}},
+		{Name: StageBatchGCD, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			if opts.Subsets >= 2 {
+				results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{Subsets: opts.Subsets})
+				if err != nil {
+					return fmt.Errorf("core: distributed batch GCD: %w", err)
+				}
+				s.Factored, s.GCDStats = results, stats
+				st.ItemsIn, st.ItemsOut, st.Bytes = stats.ItemsIn, stats.ItemsOut, stats.Bytes
+			} else {
+				results, err := batchgcd.FactorCtx(ctx, moduli)
+				if err != nil {
+					return fmt.Errorf("core: batch GCD: %w", err)
+				}
+				s.Factored = results
+				st.ItemsIn, st.ItemsOut = int64(len(moduli)), int64(len(results))
+			}
+			return nil
+		}},
+		{Name: StageFingerprint, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			divisors := make(map[string]*big.Int, len(s.Factored))
+			for _, r := range s.Factored {
+				divisors[keys[r.Index]] = r.Divisor
+			}
+			ipCount := make(map[string]int)
+			for key := range divisors {
+				ipCount[key] = len(s.Store.IPsServingModulus(key, ""))
+			}
+			for _, key := range *extraIPKeys {
+				ipCount[key] = len(s.Store.IPsServingModulus(key, ""))
+			}
+			certs := s.Store.DistinctCerts()
+			st.ItemsIn = int64(len(certs))
+			s.Fingerprint = fingerprint.Analyze(fingerprint.Input{
+				Certs:         certs,
+				Divisors:      divisors,
+				IPCount:       ipCount,
+				CliqueVendors: *cliqueVendors,
+				ModulusBits:   opts.KeyBits,
+			})
+			st.ItemsOut = int64(len(s.Fingerprint.Labels))
+			return nil
+		}},
+		{Name: StageAnalyze, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			// Longitudinal analysis over the factored (bit-error-
+			// excluded) vulnerable set.
+			vuln := make(map[string]bool, len(s.Fingerprint.Factors))
+			for key := range s.Fingerprint.Factors {
+				vuln[key] = true
+			}
+			st.ItemsIn = int64(len(vuln))
+			s.Analyzer = analysis.New(s.Store, s.Fingerprint.Labels, vuln)
+			excluded := make(map[string]bool, len(s.Fingerprint.BitErrors))
+			for _, be := range s.Fingerprint.BitErrors {
+				excluded[be.ModKey] = true
+			}
+			s.Analyzer.ExcludeModuli(excluded)
+			st.ItemsOut = st.ItemsIn - int64(len(excluded))
+			return nil
+		}},
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-
-	// Phase 3: fingerprint implementations.
-	divisors := make(map[string]*big.Int, len(s.Factored))
-	for _, r := range s.Factored {
-		divisors[keys[r.Index]] = r.Divisor
-	}
-	ipCount := make(map[string]int)
-	for key := range divisors {
-		ipCount[key] = len(s.Store.IPsServingModulus(key, ""))
-	}
-	for _, key := range extraIPKeys {
-		ipCount[key] = len(s.Store.IPsServingModulus(key, ""))
-	}
-	s.Fingerprint = fingerprint.Analyze(fingerprint.Input{
-		Certs:         s.Store.DistinctCerts(),
-		Divisors:      divisors,
-		IPCount:       ipCount,
-		CliqueVendors: cliqueVendors,
-		ModulusBits:   opts.KeyBits,
-	})
-
-	// Phase 4: longitudinal analysis over the factored (bit-error-
-	// excluded) vulnerable set.
-	vuln := make(map[string]bool, len(s.Fingerprint.Factors))
-	for key := range s.Fingerprint.Factors {
-		vuln[key] = true
-	}
-	s.Analyzer = analysis.New(s.Store, s.Fingerprint.Labels, vuln)
-	excluded := make(map[string]bool, len(s.Fingerprint.BitErrors))
-	for _, be := range s.Fingerprint.BitErrors {
-		excluded[be.ModKey] = true
-	}
-	s.Analyzer.ExcludeModuli(excluded)
-	return nil
 }
+
+const wordBytes = 32 << (^big.Word(0) >> 63) / 8 // 4 or 8

@@ -161,7 +161,7 @@ func (s *Study) Figure(w io.Writer, n int) error {
 			return nil
 		}
 		fmt.Fprintf(w, "Figure 2: partitioned batch GCD (k=%d over %d moduli)\n  wall %v, total CPU %v, peak per-node tree %d bytes\n",
-			s.GCDStats.Subsets, s.GCDStats.Moduli, s.GCDStats.Wall, s.GCDStats.TotalCPU, s.GCDStats.PeakNodeMem)
+			s.GCDStats.Subsets, s.GCDStats.ItemsIn, s.GCDStats.Wall, s.GCDStats.CPU, s.GCDStats.Bytes)
 		return nil
 	case vendorFig[n] != "":
 		v := vendorFig[n]

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/prodtree"
 )
 
@@ -37,22 +38,24 @@ type Options struct {
 	Subsets int
 }
 
-// Stats reports the cost profile of a run, mirroring the quantities the
-// paper compares: wall-clock time, total CPU time across nodes (the paper's
-// "1089 CPU hours"), and the peak per-node tree footprint (the paper's
-// "70-100 GB per node").
+// Stats reports the cost profile of a run on the shared per-stage stats
+// type, mirroring the quantities the paper compares: Wall is the
+// wall-clock time, CPU the total busy time summed across nodes (the
+// paper's "1089 CPU hours"), Bytes the peak per-node product-tree
+// footprint (the paper's "70-100 GB per node"), ItemsIn the input
+// modulus count and ItemsOut the number of vulnerable results.
 type Stats struct {
-	Wall        time.Duration
-	TotalCPU    time.Duration // sum of per-node busy time
-	PeakNodeMem int64         // largest per-node product-tree size in bytes
-	Subsets     int
-	Moduli      int
+	pipeline.Stats
+	// Subsets is the effective subset count k (clamped to the input size).
+	Subsets int
 }
 
 // Run executes the partitioned batch GCD over moduli and returns the
 // vulnerable results (same semantics as batchgcd.Factor: duplicates are
 // deduplicated first, indices refer to the input slice) plus run stats.
-// The context cancels in-flight work between phases.
+// The context cancels in-flight work mid-computation: every node checks
+// it per tree level, so cancellation returns within one level's work
+// with an error wrapping the context's.
 func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Result, Stats, error) {
 	start := time.Now()
 	var stats Stats
@@ -67,7 +70,7 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 		k = len(moduli)
 	}
 	stats.Subsets = k
-	stats.Moduli = len(moduli)
+	stats.ItemsIn = int64(len(moduli))
 
 	distinct, backrefs := dedup(moduli)
 
@@ -90,7 +93,7 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	}
 
 	// Phase 1: every node builds its subset product tree.
-	if err := eachNode(ctx, nodes, func(n *node) error { return n.buildTree() }); err != nil {
+	if err := eachNode(ctx, nodes, func(n *node) error { return n.buildTree(ctx) }); err != nil {
 		return nil, stats, err
 	}
 
@@ -101,16 +104,16 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	}
 
 	// Phase 2: every node pairs every product with its own subset.
-	if err := eachNode(ctx, nodes, func(n *node) error { return n.reduceAll(products) }); err != nil {
+	if err := eachNode(ctx, nodes, func(n *node) error { return n.reduceAll(ctx, products) }); err != nil {
 		return nil, stats, err
 	}
 
 	// Collect results and stats.
 	var results []batchgcd.Result
 	for _, n := range nodes {
-		stats.TotalCPU += n.busy
-		if b := n.treeBytes; b > stats.PeakNodeMem {
-			stats.PeakNodeMem = b
+		stats.CPU += n.busy
+		if b := n.treeBytes; b > stats.Bytes {
+			stats.Bytes = b
 		}
 		for j, d := range n.divisors {
 			if d == nil {
@@ -122,6 +125,7 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 		}
 	}
 	stats.Wall = time.Since(start)
+	stats.ItemsOut = int64(len(results))
 	return results, stats, nil
 }
 
@@ -140,9 +144,9 @@ type node struct {
 	divisors []*big.Int
 }
 
-func (n *node) buildTree() error {
+func (n *node) buildTree(ctx context.Context) error {
 	t0 := time.Now()
-	tree, err := prodtree.New(n.moduli)
+	tree, err := prodtree.NewCtx(ctx, n.moduli)
 	if err != nil {
 		return err
 	}
@@ -159,7 +163,7 @@ func (n *node) buildTree() error {
 // Ni is congruent to (P/Ni) mod Ni for the global product P, so
 // gcd(Ni, ∏ contributions) equals the divisor the single-tree algorithm
 // reports.
-func (n *node) reduceAll(products []*big.Int) error {
+func (n *node) reduceAll(ctx context.Context, products []*big.Int) error {
 	t0 := time.Now()
 	defer func() { n.busy += time.Since(t0) }()
 
@@ -177,7 +181,10 @@ func (n *node) reduceAll(products []*big.Int) error {
 
 	// combined[i] accumulates ∏_j contribution_j mod Ni.
 	combined := make([]*big.Int, len(n.moduli))
-	zs := n.tree.RemainderTreeSquared(selfRoot)
+	zs, err := n.tree.RemainderTreeSquaredCtx(ctx, selfRoot)
+	if err != nil {
+		return err
+	}
 	var z big.Int
 	for i, m := range n.moduli {
 		z.Quo(zs[i], m)
@@ -187,7 +194,10 @@ func (n *node) reduceAll(products []*big.Int) error {
 		if j == self {
 			continue
 		}
-		rems := n.tree.RemainderTree(p)
+		rems, err := n.tree.RemainderTreeCtx(ctx, p)
+		if err != nil {
+			return err
+		}
 		for i, m := range n.moduli {
 			combined[i].Mul(combined[i], rems[i])
 			combined[i].Mod(combined[i], m)

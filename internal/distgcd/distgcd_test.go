@@ -2,6 +2,7 @@ package distgcd
 
 import (
 	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -68,8 +69,8 @@ func TestRunMatchesExpected(t *testing.T) {
 				t.Errorf("k=%d index %d: got %v want %v", k, i, got[i], want[i])
 			}
 		}
-		if stats.Moduli != len(moduli) {
-			t.Errorf("k=%d: stats.Moduli = %d", k, stats.Moduli)
+		if int(stats.ItemsIn) != len(moduli) {
+			t.Errorf("k=%d: stats.ItemsIn = %d", k, stats.ItemsIn)
 		}
 		if k <= len(moduli) && stats.Subsets != k {
 			t.Errorf("k=%d: stats.Subsets = %d", k, stats.Subsets)
@@ -155,11 +156,11 @@ func TestStatsPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.TotalCPU <= 0 {
-		t.Error("TotalCPU should be positive")
+	if stats.CPU <= 0 {
+		t.Error("CPU should be positive")
 	}
-	if stats.PeakNodeMem <= 0 {
-		t.Error("PeakNodeMem should be positive")
+	if stats.Bytes <= 0 {
+		t.Error("Bytes (peak node mem) should be positive")
 	}
 	if stats.Wall <= 0 {
 		t.Error("Wall should be positive")
@@ -178,7 +179,40 @@ func TestPeakMemShrinksWithMoreSubsets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s8.PeakNodeMem >= s1.PeakNodeMem {
-		t.Errorf("k=8 peak %d should be below k=1 peak %d", s8.PeakNodeMem, s1.PeakNodeMem)
+	if s8.Bytes >= s1.Bytes {
+		t.Errorf("k=8 peak %d should be below k=1 peak %d", s8.Bytes, s1.Bytes)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ps := primes(t, 11, 12, 64)
+	moduli := make([]*big.Int, 0, 6)
+	for i := 0; i+1 < len(ps); i += 2 {
+		moduli = append(moduli, new(big.Int).Mul(ps[i], ps[i+1]))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Run(ctx, moduli, Options{Subsets: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRunItemsInOut(t *testing.T) {
+	ps := primes(t, 12, 6, 64)
+	// Two moduli sharing ps[0]: both vulnerable.
+	moduli := []*big.Int{
+		new(big.Int).Mul(ps[0], ps[1]),
+		new(big.Int).Mul(ps[0], ps[2]),
+		new(big.Int).Mul(ps[3], ps[4]),
+	}
+	results, stats, err := Run(context.Background(), moduli, Options{Subsets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ItemsIn != 3 {
+		t.Errorf("ItemsIn = %d, want 3", stats.ItemsIn)
+	}
+	if int(stats.ItemsOut) != len(results) || stats.ItemsOut != 2 {
+		t.Errorf("ItemsOut = %d (results %d), want 2", stats.ItemsOut, len(results))
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package pipeline
+
+import "time"
+
+// processCPU is unavailable without rusage; stage CPU reads as zero.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package pipeline
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative user+system CPU time.
+// Getrusage covers all threads, so work done by a stage's worker
+// goroutines is attributed to it (stages run one at a time).
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tv(ru.Utime) + tv(ru.Stime)
+}
+
+func tv(t syscall.Timeval) time.Duration {
+	return time.Duration(t.Sec)*time.Second + time.Duration(t.Usec)*time.Microsecond
+}

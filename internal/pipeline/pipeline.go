@@ -1,0 +1,190 @@
+// Package pipeline is the stage-oriented execution core of the study.
+//
+// The paper's measurement is an explicit multi-stage pipeline — corpus
+// ingest, dedup, partitioned batch GCD, fingerprinting, longitudinal
+// analysis — and every scaling discussion in it is per stage (the batch
+// GCD alone gets a wall-clock / CPU-hours / per-node-memory budget). This
+// package gives the reproduction the same shape: a typed Stage with a
+// shared per-stage Stats record, and a Runner that plumbs one
+// context.Context through every stage, emits progress events, and
+// accumulates a RunReport so any run can print the cost profile of each
+// of its stages.
+//
+// Stages run sequentially; the parallelism lives inside stages (worker
+// pools, per-subset goroutines), which is also how the real system was
+// deployed — one cluster step at a time, each step internally parallel.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// Stats is the shared per-stage cost record. Every stage gets Wall and
+// CPU filled in by the Runner; stages report their own ItemsIn,
+// ItemsOut and Bytes, whose meaning is stage-specific (documented per
+// stage) but always "units consumed", "units produced" and "bytes of
+// working set or output".
+type Stats struct {
+	// Wall is the stage's elapsed time.
+	Wall time.Duration
+	// CPU is the process CPU time (user+system, all goroutines)
+	// consumed while the stage ran. Stages execute sequentially, so the
+	// process-wide delta is attributable to the stage; on platforms
+	// without rusage it is zero.
+	CPU time.Duration
+	// ItemsIn counts the units the stage consumed.
+	ItemsIn int64
+	// ItemsOut counts the units the stage produced.
+	ItemsOut int64
+	// Bytes is the stage's working-set or output size in bytes.
+	Bytes int64
+}
+
+// Add accumulates other into s (used when merging sub-stage stats).
+func (s *Stats) Add(other Stats) {
+	s.Wall += other.Wall
+	s.CPU += other.CPU
+	s.ItemsIn += other.ItemsIn
+	s.ItemsOut += other.ItemsOut
+	s.Bytes += other.Bytes
+}
+
+// Stage is one named pipeline step. Run receives the pipeline context —
+// it must honour cancellation promptly, including mid-computation — and
+// the stage's own Stats record to fill ItemsIn/ItemsOut/Bytes (Wall and
+// CPU are measured by the Runner).
+type Stage struct {
+	Name string
+	Run  func(ctx context.Context, st *Stats) error
+}
+
+// EventKind distinguishes progress callbacks.
+type EventKind int
+
+const (
+	// StageStart fires before a stage runs; Stats is zero.
+	StageStart EventKind = iota
+	// StageDone fires after a stage returns nil; Stats is final.
+	StageDone
+	// StageError fires after a stage returns an error; Stats holds
+	// whatever was measured up to the failure and Err the cause.
+	StageError
+)
+
+// Event is one progress notification.
+type Event struct {
+	// Stage is the stage name.
+	Stage string
+	// Index is the zero-based stage position; Total the stage count.
+	Index, Total int
+	Kind         EventKind
+	Stats        Stats
+	Err          error
+}
+
+// ProgressFunc receives progress events. Callbacks run synchronously on
+// the pipeline goroutine, in order; a nil func disables them.
+type ProgressFunc func(Event)
+
+// StageReport is one stage's outcome inside a RunReport.
+type StageReport struct {
+	Name  string
+	Stats Stats
+	// Err is non-nil only for the stage that failed (stages after it
+	// never ran and are absent from the report).
+	Err error
+}
+
+// RunReport is the accumulated cost profile of a pipeline run.
+type RunReport struct {
+	Stages []StageReport
+	// Wall and CPU are totals across all executed stages.
+	Wall time.Duration
+	CPU  time.Duration
+}
+
+// Stage returns the report for a named stage, or nil.
+func (r *RunReport) Stage(name string) *StageReport {
+	for i := range r.Stages {
+		if r.Stages[i].Name == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}
+
+// WriteText dumps the per-stage report as an aligned text table — the
+// `weakkeys -metrics` output.
+func (r *RunReport) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\twall\tcpu\titems in\titems out\tbytes")
+	for _, sr := range r.Stages {
+		status := ""
+		if sr.Err != nil {
+			status = "\terror: " + sr.Err.Error()
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%d\t%d\t%d%s\n",
+			sr.Name, sr.Stats.Wall.Round(time.Microsecond), sr.Stats.CPU.Round(time.Microsecond),
+			sr.Stats.ItemsIn, sr.Stats.ItemsOut, sr.Stats.Bytes, status)
+	}
+	fmt.Fprintf(tw, "total\t%v\t%v\t\t\t\n", r.Wall.Round(time.Microsecond), r.CPU.Round(time.Microsecond))
+	return tw.Flush()
+}
+
+// Runner executes stages in order under one context.
+type Runner struct {
+	// Progress, when set, receives a StageStart and a StageDone (or
+	// StageError) event per stage.
+	Progress ProgressFunc
+}
+
+// Run executes the stages sequentially. It returns the report for every
+// stage that ran — including, on failure, the failing stage with its
+// partial stats — alongside the first error. Cancellation is checked
+// before each stage and honoured inside stages; the resulting error
+// wraps context.Canceled (or DeadlineExceeded) so callers can test it
+// with errors.Is.
+func (r *Runner) Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
+	report := &RunReport{Stages: make([]StageReport, 0, len(stages))}
+	for i, stage := range stages {
+		if err := ctx.Err(); err != nil {
+			err = fmt.Errorf("pipeline: before stage %s: %w", stage.Name, err)
+			report.Stages = append(report.Stages, StageReport{Name: stage.Name, Err: err})
+			r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageError, Err: err})
+			return report, err
+		}
+		r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageStart})
+		var st Stats
+		cpu0 := processCPU()
+		t0 := time.Now()
+		err := stage.Run(ctx, &st)
+		st.Wall = time.Since(t0)
+		st.CPU = processCPU() - cpu0
+		report.Wall += st.Wall
+		report.CPU += st.CPU
+		if err != nil {
+			err = fmt.Errorf("pipeline: stage %s: %w", stage.Name, err)
+			report.Stages = append(report.Stages, StageReport{Name: stage.Name, Stats: st, Err: err})
+			r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageError, Stats: st, Err: err})
+			return report, err
+		}
+		report.Stages = append(report.Stages, StageReport{Name: stage.Name, Stats: st})
+		r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageDone, Stats: st})
+	}
+	return report, nil
+}
+
+func (r *Runner) emit(ev Event) {
+	if r.Progress != nil {
+		r.Progress(ev)
+	}
+}
+
+// Run is the convenience one-shot form: a Runner with no progress func.
+func Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
+	return (&Runner{}).Run(ctx, stages...)
+}

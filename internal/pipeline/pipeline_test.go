@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunAccumulatesStats(t *testing.T) {
+	report, err := Run(context.Background(),
+		Stage{Name: "a", Run: func(ctx context.Context, st *Stats) error {
+			st.ItemsIn, st.ItemsOut, st.Bytes = 10, 7, 1024
+			return nil
+		}},
+		Stage{Name: "b", Run: func(ctx context.Context, st *Stats) error {
+			st.ItemsIn, st.ItemsOut = 7, 7
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(report.Stages))
+	}
+	a := report.Stage("a")
+	if a == nil || a.Stats.ItemsIn != 10 || a.Stats.ItemsOut != 7 || a.Stats.Bytes != 1024 {
+		t.Errorf("stage a stats = %+v", a)
+	}
+	if a.Stats.Wall <= 0 {
+		t.Error("stage wall time not measured")
+	}
+	if report.Wall < a.Stats.Wall {
+		t.Error("report wall below stage wall")
+	}
+	if report.Stage("missing") != nil {
+		t.Error("Stage(missing) should be nil")
+	}
+}
+
+func TestRunStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := []string{}
+	report, err := Run(context.Background(),
+		Stage{Name: "ok", Run: func(ctx context.Context, st *Stats) error {
+			ran = append(ran, "ok")
+			return nil
+		}},
+		Stage{Name: "fail", Run: func(ctx context.Context, st *Stats) error {
+			ran = append(ran, "fail")
+			return boom
+		}},
+		Stage{Name: "never", Run: func(ctx context.Context, st *Stats) error {
+			ran = append(ran, "never")
+			return nil
+		}},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "stage fail") {
+		t.Errorf("error should name the stage: %v", err)
+	}
+	if len(ran) != 2 {
+		t.Errorf("ran = %v, stage after failure must not run", ran)
+	}
+	if len(report.Stages) != 2 || report.Stages[1].Err == nil {
+		t.Errorf("report should include the failing stage: %+v", report.Stages)
+	}
+}
+
+func TestRunHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Stage{Name: "never", Run: func(ctx context.Context, st *Stats) error {
+		t.Error("stage ran under cancelled context")
+		return nil
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressEventOrder(t *testing.T) {
+	var events []Event
+	r := &Runner{Progress: func(ev Event) { events = append(events, ev) }}
+	_, err := r.Run(context.Background(),
+		Stage{Name: "one", Run: func(ctx context.Context, st *Stats) error { return nil }},
+		Stage{Name: "two", Run: func(ctx context.Context, st *Stats) error { return errors.New("x") }},
+	)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	want := []struct {
+		stage string
+		kind  EventKind
+	}{
+		{"one", StageStart}, {"one", StageDone},
+		{"two", StageStart}, {"two", StageError},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(events), len(want))
+	}
+	for i, w := range want {
+		if events[i].Stage != w.stage || events[i].Kind != w.kind {
+			t.Errorf("event %d = {%s %d}, want {%s %d}", i, events[i].Stage, events[i].Kind, w.stage, w.kind)
+		}
+		if events[i].Total != 2 {
+			t.Errorf("event %d Total = %d, want 2", i, events[i].Total)
+		}
+	}
+}
+
+func TestMidStageCancellationIsWrapped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := Run(ctx, Stage{Name: "waits", Run: func(ctx context.Context, st *Stats) error {
+		cancel()
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	report, err := Run(context.Background(),
+		Stage{Name: "dedup", Run: func(ctx context.Context, st *Stats) error {
+			st.ItemsIn, st.ItemsOut = 100, 80
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"stage", "dedup", "100", "80", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Wall: time.Second, CPU: time.Second, ItemsIn: 1, ItemsOut: 2, Bytes: 3}
+	a.Add(Stats{Wall: time.Second, ItemsIn: 9, Bytes: 7})
+	if a.Wall != 2*time.Second || a.ItemsIn != 10 || a.ItemsOut != 2 || a.Bytes != 10 {
+		t.Errorf("Add result = %+v", a)
+	}
+}

@@ -1,6 +1,7 @@
 package population
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -40,6 +41,10 @@ type Config struct {
 	// IBM analysis ("the varying subjects of these new certificates
 	// indicated that these new certificates were due to IP churn").
 	IPReuse float64
+	// Progress, when set, is called after each simulated month with the
+	// number of months completed and the total. Calls are synchronous on
+	// the simulating goroutine.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -453,25 +458,31 @@ func Coverage(src scanstore.Source) float64 {
 	}
 }
 
-// Run simulates the full timeline, writing observations into store.
-func (s *Simulation) Run(store *scanstore.Store) error {
+// Run simulates the full timeline, writing observations into store. The
+// context is checked once per simulated month, so cancelling aborts a
+// long harvest between months with an error wrapping the context's.
+func (s *Simulation) Run(ctx context.Context, store *scanstore.Store) error {
 	if s.cfg.OtherProtocols {
 		if err := s.buildOtherProtocolKeys(); err != nil {
 			return err
 		}
 	}
 	for m := Month(0); m < Months; m++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("population: harvest cancelled at month %d/%d: %w", int(m), int(Months), err)
+		}
 		for li := range s.cfg.Lines {
 			if err := s.step(li, m); err != nil {
 				return err
 			}
 		}
-		src, ok := SourceFor(m)
-		if !ok {
-			continue
+		if src, ok := SourceFor(m); ok {
+			if err := s.observe(store, m, src); err != nil {
+				return err
+			}
 		}
-		if err := s.observe(store, m, src); err != nil {
-			return err
+		if s.cfg.Progress != nil {
+			s.cfg.Progress(int(m)+1, int(Months))
 		}
 	}
 	if s.cfg.OtherProtocols {

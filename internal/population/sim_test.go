@@ -1,6 +1,8 @@
 package population
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/factorable/weakkeys/internal/scanstore"
@@ -21,7 +23,7 @@ func testSim(t *testing.T, scale float64, mitm, bitErr float64, other bool) (*Si
 		t.Fatal(err)
 	}
 	store := scanstore.New()
-	if err := sim.Run(store); err != nil {
+	if err := sim.Run(context.Background(), store); err != nil {
 		t.Fatal(err)
 	}
 	return sim, store
@@ -252,7 +254,7 @@ func TestSimIPReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	storeA := scanstore.New()
-	if err := simA.Run(storeA); err != nil {
+	if err := simA.Run(context.Background(), storeA); err != nil {
 		t.Fatal(err)
 	}
 	// With heavy reuse, some IPs must be served by more than one
@@ -306,5 +308,32 @@ func TestIntermediatesOnlyInRapid7Era(t *testing.T) {
 	}
 	if !sawRapid7 {
 		t.Error("no intermediates recorded in the Rapid7 era")
+	}
+}
+
+func TestSimRunCancelled(t *testing.T) {
+	sim, err := New(Config{Seed: 9, KeyBits: 128, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.Run(ctx, scanstore.New()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestSimRunProgress(t *testing.T) {
+	var calls, last, total int
+	sim, err := New(Config{Seed: 9, KeyBits: 128, Scale: 0.02,
+		Progress: func(done, months int) { calls++; last = done; total = months }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(context.Background(), scanstore.New()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != int(Months) || last != int(Months) || total != int(Months) {
+		t.Errorf("progress calls=%d last=%d total=%d, want all %d", calls, last, total, Months)
 	}
 }

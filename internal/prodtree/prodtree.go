@@ -15,7 +15,9 @@
 package prodtree
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/big"
 	"runtime"
 	"sync"
@@ -36,6 +38,16 @@ var ErrEmpty = errors.New("prodtree: no inputs")
 // parallelized across GOMAXPROCS goroutines per level, mirroring the
 // threaded arithmetic of the original factorable.net implementation.
 func New(vals []*big.Int) (*Tree, error) {
+	return NewCtx(context.Background(), vals)
+}
+
+// NewCtx is New with cancellation: the context is checked between tree
+// levels, so a cancelled build returns — with an error wrapping the
+// context's — after at most one level's multiplications. At the paper's
+// scale a single upper level is minutes of work, and level-granular
+// checks are what let an operator abort an 81M-moduli run without
+// waiting for the central product.
+func NewCtx(ctx context.Context, vals []*big.Int) (*Tree, error) {
 	if len(vals) == 0 {
 		return nil, ErrEmpty
 	}
@@ -43,6 +55,9 @@ func New(vals []*big.Int) (*Tree, error) {
 	copy(leaves, vals)
 	t := &Tree{Levels: [][]*big.Int{leaves}}
 	for cur := leaves; len(cur) > 1; {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prodtree: build cancelled at level %d: %w", len(t.Levels), err)
+		}
 		next := make([]*big.Int, (len(cur)+1)/2)
 		parallelFor(len(cur)/2, func(i int) {
 			next[i] = new(big.Int).Mul(cur[2*i], cur[2*i+1])
@@ -92,7 +107,8 @@ const wordBytes = 32 << (^big.Word(0) >> 63) / 8 // 4 or 8
 // squared variant (see RemainderTreeSquared) to recover gcd(N, P/N);
 // the plain variant is used by the smooth-part computation and tests.
 func (t *Tree) RemainderTree(x *big.Int) []*big.Int {
-	return t.remainderTree(x, false)
+	rems, _ := t.remainderTree(context.Background(), x, false)
+	return rems
 }
 
 // RemainderTreeSquared returns x mod leaf² for every leaf. Bernstein's
@@ -100,12 +116,28 @@ func (t *Tree) RemainderTree(x *big.Int) []*big.Int {
 // finds the common factor of Ni with the rest of the batch without ever
 // forming the exact cofactor P/Ni.
 func (t *Tree) RemainderTreeSquared(x *big.Int) []*big.Int {
-	return t.remainderTree(x, true)
+	rems, _ := t.remainderTree(context.Background(), x, true)
+	return rems
 }
 
-func (t *Tree) remainderTree(x *big.Int, squared bool) []*big.Int {
+// RemainderTreeCtx is RemainderTree with cancellation, checked between
+// tree levels like NewCtx.
+func (t *Tree) RemainderTreeCtx(ctx context.Context, x *big.Int) ([]*big.Int, error) {
+	return t.remainderTree(ctx, x, false)
+}
+
+// RemainderTreeSquaredCtx is RemainderTreeSquared with cancellation,
+// checked between tree levels like NewCtx.
+func (t *Tree) RemainderTreeSquaredCtx(ctx context.Context, x *big.Int) ([]*big.Int, error) {
+	return t.remainderTree(ctx, x, true)
+}
+
+func (t *Tree) remainderTree(ctx context.Context, x *big.Int, squared bool) ([]*big.Int, error) {
 	cur := []*big.Int{x}
 	for lvl := len(t.Levels) - 1; lvl >= 0; lvl-- {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prodtree: remainder tree cancelled at level %d: %w", lvl, err)
+		}
 		nodes := t.Levels[lvl]
 		next := make([]*big.Int, len(nodes))
 		parallelFor(len(nodes), func(i int) {
@@ -123,7 +155,7 @@ func (t *Tree) remainderTree(x *big.Int, squared bool) []*big.Int {
 		})
 		cur = next
 	}
-	return cur
+	return cur, nil
 }
 
 // parallelFor runs f(0..n-1) across up to GOMAXPROCS goroutines. It runs

@@ -1,6 +1,8 @@
 package prodtree
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"runtime"
@@ -234,5 +236,53 @@ func TestParallelForMultiWorker(t *testing.T) {
 	}
 	if len(tr.Leaves()) != len(vals) {
 		t.Errorf("Leaves() = %d", len(tr.Leaves()))
+	}
+}
+
+func TestNewCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewCtx(ctx, randInts(1, 64, 64)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewCtx err = %v, want wrapped context.Canceled", err)
+	}
+	// The uncancelled path matches New.
+	vals := randInts(2, 33, 64)
+	a, err := NewCtx(context.Background(), vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Root().Cmp(b.Root()) != 0 {
+		t.Error("NewCtx root differs from New root")
+	}
+}
+
+func TestRemainderTreeCtxCancelled(t *testing.T) {
+	vals := randInts(3, 32, 64)
+	tr, err := New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.RemainderTreeCtx(ctx, tr.Root()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RemainderTreeCtx err = %v, want wrapped context.Canceled", err)
+	}
+	if _, err := tr.RemainderTreeSquaredCtx(ctx, tr.Root()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RemainderTreeSquaredCtx err = %v, want wrapped context.Canceled", err)
+	}
+	// The uncancelled variants agree with the plain ones.
+	got, err := tr.RemainderTreeCtx(context.Background(), tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.RemainderTree(tr.Root())
+	for i := range want {
+		if got[i].Cmp(want[i]) != 0 {
+			t.Fatalf("leaf %d: ctx variant = %v, plain = %v", i, got[i], want[i])
+		}
 	}
 }

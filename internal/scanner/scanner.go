@@ -8,6 +8,7 @@ package scanner
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -30,18 +31,27 @@ type Options struct {
 	// RatePerSecond caps connection attempts per second (0 = unlimited).
 	// ZMap-era scanners pace probes to be polite to networks; the
 	// Ecosystem scans took 18 hours for the IPv4 space at their chosen
-	// rate.
+	// rate. Negative values are rejected — a sign-flipped rate silently
+	// becoming "unlimited" is exactly the kind of config slip that gets
+	// scanners abuse reports.
 	RatePerSecond float64
+	// Progress, when set, is called after each target completes with the
+	// number of finished targets and the total. Calls are serialized but
+	// may come from any worker goroutine.
+	Progress func(done, total int)
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	if o.RatePerSecond < 0 {
+		return o, fmt.Errorf("scanner: RatePerSecond must be >= 0, got %g", o.RatePerSecond)
+	}
 	if o.Workers <= 0 {
 		o.Workers = 16
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Second
 	}
-	return o
+	return o, nil
 }
 
 // Result is the outcome for one target address.
@@ -57,18 +67,35 @@ type Result struct {
 }
 
 // Scan fetches certificates from every target concurrently. Results are
-// returned in target order. The context cancels outstanding dials.
-func Scan(ctx context.Context, targets []string, opts Options) []Result {
-	o := opts.withDefaults()
+// returned in target order. The context cancels outstanding dials. An
+// error is returned only for invalid Options; per-target failures are
+// reported in the corresponding Result.
+func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	results := make([]Result, len(targets))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	finish := func() {
+		if o.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		o.Progress(done, len(targets))
+		progressMu.Unlock()
+	}
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				results[i] = scanOne(ctx, targets[i], o)
+				finish()
 			}
 		}()
 	}
@@ -101,7 +128,7 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	return results, nil
 }
 
 func scanOne(ctx context.Context, addr string, o Options) Result {
@@ -131,7 +158,10 @@ func scanOne(ctx context.Context, addr string, o Options) Result {
 // given scan date and source. It returns the per-target results alongside
 // the number of stored observations.
 func Harvest(ctx context.Context, store *scanstore.Store, date time.Time, src scanstore.Source, targets []string, opts Options) ([]Result, int, error) {
-	results := Scan(ctx, targets, opts)
+	results, err := Scan(ctx, targets, opts)
+	if err != nil {
+		return nil, 0, err
+	}
 	stored := 0
 	for _, r := range results {
 		if r.Err != nil || r.Cert == nil {

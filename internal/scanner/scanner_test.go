@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -44,7 +45,10 @@ func fleet(t *testing.T, n int, crashOnHeartbeat bool) []string {
 
 func TestScanFleet(t *testing.T) {
 	addrs := fleet(t, 10, false)
-	results := Scan(context.Background(), addrs, Options{Workers: 4})
+	results, err := Scan(context.Background(), addrs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 10 {
 		t.Fatalf("results: %d", len(results))
 	}
@@ -71,7 +75,10 @@ func TestScanUnreachableTarget(t *testing.T) {
 	dead := ln.Addr().String()
 	ln.Close()
 	addrs := append(fleet(t, 2, false), dead)
-	results := Scan(context.Background(), addrs, Options{Workers: 2, Timeout: 2 * time.Second})
+	results, err := Scan(context.Background(), addrs, Options{Workers: 2, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if results[2].Err == nil {
 		t.Error("dead target should error")
 	}
@@ -84,7 +91,10 @@ func TestScanContextCancellation(t *testing.T) {
 	addrs := fleet(t, 4, false)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results := Scan(ctx, addrs, Options{Workers: 2})
+	results, err := Scan(ctx, addrs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	errs := 0
 	for _, r := range results {
 		if r.Err != nil {
@@ -98,14 +108,20 @@ func TestScanContextCancellation(t *testing.T) {
 
 func TestScanHeartbeatProbe(t *testing.T) {
 	good := fleet(t, 2, false)
-	results := Scan(context.Background(), good, Options{ProbeHeartbeat: true, Workers: 2})
+	results, err := Scan(context.Background(), good, Options{ProbeHeartbeat: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range results {
 		if r.Err != nil || !r.HeartbeatOK {
 			t.Errorf("patched device %d: err=%v hbOK=%v", i, r.Err, r.HeartbeatOK)
 		}
 	}
 	crashy := fleet(t, 2, true)
-	results = Scan(context.Background(), crashy, Options{ProbeHeartbeat: true, Workers: 2})
+	results, err = Scan(context.Background(), crashy, Options{ProbeHeartbeat: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range results {
 		if r.Err != nil {
 			t.Errorf("cert fetch should succeed before crash: %d %v", i, r.Err)
@@ -140,7 +156,10 @@ func TestScanRateLimit(t *testing.T) {
 	addrs := fleet(t, 6, false)
 	// At 50 probes/second, 6 targets need at least ~100ms of pacing.
 	start := time.Now()
-	results := Scan(context.Background(), addrs, Options{Workers: 6, RatePerSecond: 50})
+	results, err := Scan(context.Background(), addrs, Options{Workers: 6, RatePerSecond: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	elapsed := time.Since(start)
 	for _, r := range results {
 		if r.Err != nil {
@@ -156,7 +175,10 @@ func TestScanRateLimitCancellation(t *testing.T) {
 	addrs := fleet(t, 4, false)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results := Scan(ctx, addrs, Options{Workers: 1, RatePerSecond: 1}) // 1/s: would take 4s
+	results, err := Scan(ctx, addrs, Options{Workers: 1, RatePerSecond: 1}) // 1/s: would take 4s
+	if err != nil {
+		t.Fatal(err)
+	}
 	errs := 0
 	for _, r := range results {
 		if r.Err != nil {
@@ -165,5 +187,41 @@ func TestScanRateLimitCancellation(t *testing.T) {
 	}
 	if errs == 0 {
 		t.Error("cancellation under pacing should error remaining targets")
+	}
+}
+
+func TestScanNegativeRateRejected(t *testing.T) {
+	_, err := Scan(context.Background(), []string{"127.0.0.1:1"}, Options{RatePerSecond: -5})
+	if err == nil {
+		t.Fatal("negative RatePerSecond must be rejected, not treated as unlimited")
+	}
+	if _, _, err := Harvest(context.Background(), scanstore.New(), time.Now(), scanstore.SourceCensys,
+		[]string{"127.0.0.1:1"}, Options{RatePerSecond: -1}); err == nil {
+		t.Fatal("Harvest must propagate the options error")
+	}
+}
+
+func TestScanProgressHook(t *testing.T) {
+	addrs := fleet(t, 5, false)
+	var mu sync.Mutex
+	var dones []int
+	total := 0
+	results, err := Scan(context.Background(), addrs, Options{Workers: 3,
+		Progress: func(done, n int) { mu.Lock(); dones = append(dones, done); total = n; mu.Unlock() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("target %d: %v", i, r.Err)
+		}
+	}
+	if len(dones) != 5 || total != 5 {
+		t.Fatalf("progress calls = %v (total %d), want 5 monotone calls", dones, total)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("progress done[%d] = %d, want %d", i, d, i+1)
+		}
 	}
 }
