@@ -2,11 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline
+.PHONY: ci build vet test race bench bench-pipeline smoke bench-telemetry
 
-# ci is the full gate: compile everything, vet, and run the test suite
-# under the race detector.
-ci: build vet race
+# ci is the full gate: compile everything, vet, run the test suite under
+# the race detector, smoke-test the live telemetry path end to end, and
+# guard the instrumentation hot-path cost.
+ci: build vet race smoke bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -27,3 +28,14 @@ bench:
 # against direct calls (expected: well under 1%).
 bench-pipeline:
 	$(GO) test -run xxx -bench 'BenchmarkPipelineOverhead' .
+
+# smoke runs weakkeys at small scale with -metrics, -trace and -listen,
+# scrapes /metrics once and asserts it is populated across packages.
+smoke:
+	sh ./scripts/smoke.sh
+
+# bench-telemetry guards the instrumentation hot path: counter Add and
+# histogram Observe must stay in the low nanoseconds (fixed iteration
+# count so the guard is fast enough for ci).
+bench-telemetry:
+	$(GO) test -run xxx -bench 'BenchmarkCounterAdd$$|BenchmarkHistogramObserve$$|BenchmarkNilCounterAdd$$' -benchtime 200000x ./internal/telemetry

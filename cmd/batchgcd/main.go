@@ -23,14 +23,27 @@ import (
 	"github.com/factorable/weakkeys/internal/certs"
 	"github.com/factorable/weakkeys/internal/distgcd"
 	"github.com/factorable/weakkeys/internal/sshkeys"
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 func main() {
 	var (
-		k     = flag.Int("k", 1, "number of subsets (>=2 runs the cluster-partitioned variant)")
-		stats = flag.Bool("stats", false, "print timing and memory statistics")
+		k       = flag.Int("k", 1, "number of subsets (>=2 runs the cluster-partitioned variant)")
+		stats   = flag.Bool("stats", false, "print timing and memory statistics")
+		listen  = flag.String("listen", "", "serve live diagnostics on this address (/metrics, /debug/vars, /debug/pprof)")
+		metrics = flag.Bool("metrics", false, "dump the final metrics snapshot (Prometheus text format) to stderr")
 	)
 	flag.Parse()
+
+	reg := telemetry.New()
+	if *listen != "" {
+		srv, err := telemetry.ListenAndServe(*listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "diagnostics on http://%s/metrics\n", srv.Addr)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -53,7 +66,7 @@ func main() {
 	var results []batchgcd.Result
 	var runStats distgcd.Stats
 	if *k >= 2 {
-		results, runStats, err = distgcd.Run(context.Background(), moduli, distgcd.Options{Subsets: *k})
+		results, runStats, err = distgcd.Run(context.Background(), moduli, distgcd.Options{Subsets: *k, Metrics: reg})
 	} else {
 		results, err = batchgcd.Factor(moduli)
 	}
@@ -77,6 +90,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "k=%d: total CPU %v, peak per-node tree %d bytes\n",
 				runStats.Subsets, runStats.CPU.Round(time.Millisecond), runStats.Bytes)
 		}
+	}
+	if *metrics {
+		reg.Snapshot().WritePrometheus(os.Stderr)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"github.com/factorable/weakkeys/internal/devices"
 	"github.com/factorable/weakkeys/internal/population"
 	"github.com/factorable/weakkeys/internal/scanner"
+	"github.com/factorable/weakkeys/internal/telemetry"
 	"github.com/factorable/weakkeys/internal/weakrsa"
 )
 
@@ -32,8 +33,20 @@ func main() {
 		bits       = flag.Int("bits", 256, "RSA modulus size")
 		workers    = flag.Int("workers", 8, "scanner concurrency")
 		heartbleed = flag.Bool("heartbleed", false, "send heartbeat probes (crashes vulnerable firmware)")
+		listen     = flag.String("listen", "", "serve live diagnostics on this address (/metrics, /debug/vars, /debug/pprof)")
+		metrics    = flag.Bool("metrics", false, "dump the final scan metrics snapshot (Prometheus text format) to stderr")
 	)
 	flag.Parse()
+
+	reg := telemetry.New()
+	if *listen != "" {
+		srv, err := telemetry.ListenAndServe(*listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "diagnostics on http://%s/metrics\n", srv.Addr)
+	}
 	if *nVuln > *nDevices {
 		fatal(fmt.Errorf("vulnerable count exceeds fleet size"))
 	}
@@ -84,6 +97,7 @@ func main() {
 	results, err := scanner.Scan(context.Background(), targets, scanner.Options{
 		Workers:        *workers,
 		ProbeHeartbeat: *heartbleed,
+		Metrics:        reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -122,6 +136,9 @@ func main() {
 			}
 		}
 		fmt.Printf("%d devices are now offline after heartbeat probing\n", crashed)
+	}
+	if *metrics {
+		reg.Snapshot().WritePrometheus(os.Stderr)
 	}
 }
 

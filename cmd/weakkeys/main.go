@@ -9,6 +9,8 @@
 //	weakkeys -figure 3            # the Juniper time series
 //	weakkeys -csv Juniper         # CSV series for external plotting
 //	weakkeys -metrics -table 1    # plus the per-stage pipeline report
+//	weakkeys -listen :8080        # live /metrics, /debug/vars, pprof
+//	weakkeys -trace run.json      # Chrome trace_event span export
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/report"
 	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +49,9 @@ func main() {
 		saveTo   = flag.String("save", "", "save the scan corpus to a file after the run")
 		loadFrom = flag.String("load", "", "analyze a previously saved scan corpus instead of simulating")
 		metrics  = flag.Bool("metrics", false, "print the per-stage pipeline report (wall, CPU, items in/out) after the run")
+		listen   = flag.String("listen", "", "serve live diagnostics on this address (/metrics, /debug/vars, /debug/pprof); :0 picks a port")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run's spans")
+		hold     = flag.Duration("hold", 0, "keep the diagnostics server alive this long after the run (for scraping short runs)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -61,6 +67,44 @@ func main() {
 	// interrupting mid-computation returns promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// One registry is shared by every layer; the tracer only exists when
+	// a trace file was requested.
+	reg := telemetry.New()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	writeTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "weakkeys: trace:", err)
+			return
+		}
+		logf("wrote trace to %s (load at chrome://tracing or ui.perfetto.dev)", *traceOut)
+	}
+	var diag *telemetry.Server
+	if *listen != "" {
+		var err error
+		diag, err = telemetry.ListenAndServe(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakkeys:", err)
+			os.Exit(1)
+		}
+		defer diag.Close()
+		logf("diagnostics on http://%s/metrics (also /debug/vars, /debug/pprof)", diag.Addr)
+	}
+	holdOpen := func() {
+		if diag != nil && *hold > 0 {
+			logf("holding diagnostics server for %v...", *hold)
+			select {
+			case <-time.After(*hold):
+			case <-ctx.Done():
+			}
+		}
+	}
 
 	// Progress lines come from the pipeline's own stage events.
 	progress := func(ev pipeline.Event) {
@@ -93,9 +137,11 @@ func main() {
 			os.Exit(1)
 		}
 		study, err = core.AnalyzeStore(ctx, store, core.Options{
-			KeyBits:  *bits,
-			Subsets:  *subsets,
-			Progress: progress,
+			KeyBits:   *bits,
+			Subsets:   *subsets,
+			Progress:  progress,
+			Telemetry: reg,
+			Tracer:    tracer,
 		})
 	} else {
 		logf("running pipeline (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
@@ -113,10 +159,23 @@ func main() {
 					logf("  harvest: month %d/%d", done, total)
 				}
 			},
+			Telemetry: reg,
+			Tracer:    tracer,
 		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "weakkeys:", err)
+		// A failed or interrupted run still has a cost profile: print the
+		// partial per-stage report and the final registry snapshot so the
+		// work done before the failure is not lost.
+		if *metrics && study != nil && study.Report != nil {
+			fmt.Fprintln(os.Stderr, "partial per-stage report:")
+			study.Report.WriteText(os.Stderr)
+			fmt.Fprintln(os.Stderr, "final metrics snapshot:")
+			reg.Snapshot().WritePrometheus(os.Stderr)
+		}
+		writeTrace()
+		holdOpen()
 		os.Exit(1)
 	}
 	cs := study.Analyzer.CorpusStats()
@@ -181,6 +240,8 @@ func main() {
 		fmt.Fprintln(out)
 		fail(study.Figure(out, 1))
 	}
+	writeTrace()
+	holdOpen()
 }
 
 // reportCSV writes the series as CSV on w.

@@ -10,15 +10,20 @@ import (
 )
 
 // runCancelling runs a small study and cancels the context as soon as
-// the named stage starts, returning the error (guarded by a timeout so
-// a hung cancellation fails the test instead of the suite).
-func runCancelling(t *testing.T, stage string, subsets int) error {
+// the named stage starts, returning the partial study and the error
+// (guarded by a timeout so a hung cancellation fails the test instead
+// of the suite).
+func runCancelling(t *testing.T, stage string, subsets int) (*Study, error) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	done := make(chan error, 1)
+	type outcome struct {
+		study *Study
+		err   error
+	}
+	done := make(chan outcome, 1)
 	go func() {
-		_, err := Run(ctx, Options{
+		study, err := Run(ctx, Options{
 			Seed:    3,
 			KeyBits: 128,
 			Scale:   0.05,
@@ -29,14 +34,14 @@ func runCancelling(t *testing.T, stage string, subsets int) error {
 				}
 			},
 		})
-		done <- err
+		done <- outcome{study, err}
 	}()
 	select {
-	case err := <-done:
-		return err
+	case out := <-done:
+		return out.study, out.err
 	case <-time.After(30 * time.Second):
 		t.Fatalf("run did not return promptly after cancellation during %s", stage)
-		return nil
+		return nil, nil
 	}
 }
 
@@ -49,7 +54,7 @@ func TestRunCancelledMidBatchGCD(t *testing.T) {
 		{"partitioned", 4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			err := runCancelling(t, StageBatchGCD, tc.subsets)
+			_, err := runCancelling(t, StageBatchGCD, tc.subsets)
 			if !errors.Is(err, context.Canceled) {
 				t.Fatalf("err = %v, want wrapped context.Canceled", err)
 			}
@@ -58,9 +63,41 @@ func TestRunCancelledMidBatchGCD(t *testing.T) {
 }
 
 func TestRunCancelledMidHarvest(t *testing.T) {
-	err := runCancelling(t, StageHarvest, 1)
+	_, err := runCancelling(t, StageHarvest, 1)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestPartialStudyOnCancel is the `weakkeys -metrics` error-path fix: a
+// cancelled run must still hand back the partial study whose RunReport
+// covers every stage that started, so the cost profile of the work done
+// so far can be printed.
+func TestPartialStudyOnCancel(t *testing.T) {
+	study, err := runCancelling(t, StageBatchGCD, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if study == nil || study.Report == nil {
+		t.Fatal("cancelled run should return the partial study with its report")
+	}
+	// Everything before BatchGCD completed; BatchGCD itself is present
+	// with the cancellation error.
+	for _, name := range []string{StageSimulate, StageHarvest, StageDedup} {
+		sr := study.Report.Stage(name)
+		if sr == nil {
+			t.Fatalf("partial report missing completed stage %s", name)
+		}
+		if sr.Err != nil {
+			t.Errorf("completed stage %s carries error %v", name, sr.Err)
+		}
+	}
+	gcd := study.Report.Stage(StageBatchGCD)
+	if gcd == nil || gcd.Err == nil {
+		t.Fatalf("partial report should include the failing stage: %+v", gcd)
+	}
+	if study.Report.Stage(StageAnalyze) != nil {
+		t.Error("stages after the failure must not appear in the report")
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/population"
 	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 // Stage names, in execution order. Run composes all six; AnalyzeStore
@@ -77,6 +78,14 @@ type Options struct {
 	// HarvestProgress, when set, is called after each simulated month of
 	// the Harvest stage with (monthsDone, monthsTotal).
 	HarvestProgress func(done, total int)
+	// Telemetry, when set, is the shared metrics registry every layer
+	// records into: the pipeline mirrors per-stage stats, the simulation
+	// its per-month rates, distgcd its per-node ledger, and core its
+	// corpus-level gauges. Serve it live with telemetry.ListenAndServe.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records nested spans (pipeline → stage → months
+	// and batch-GCD nodes) exportable as Chrome trace_event JSON.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +149,7 @@ func Run(ctx context.Context, opts Options) (*Study, error) {
 				OtherProtocols: opts.OtherProtocols,
 				IPReuse:        opts.IPReuse,
 				Progress:       opts.HarvestProgress,
+				Metrics:        opts.Telemetry,
 			})
 			if err != nil {
 				return fmt.Errorf("core: simulation: %w", err)
@@ -166,12 +176,38 @@ func Run(ctx context.Context, opts Options) (*Study, error) {
 		}},
 	}
 	stages = append(stages, s.analysisStages(&cliqueVendors, &extraIPKeys)...)
-	report, err := (&pipeline.Runner{Progress: opts.Progress}).Run(ctx, stages...)
+	runner := &pipeline.Runner{Progress: opts.Progress, Metrics: opts.Telemetry, Tracer: opts.Tracer}
+	report, err := runner.Run(ctx, stages...)
 	s.Report = report
+	s.publishCorpusGauges()
 	if err != nil {
-		return nil, err
+		// The partial study — with the report of every stage that ran —
+		// comes back alongside the error so a cancelled or failed run
+		// can still print its cost profile.
+		return s, err
 	}
 	return s, nil
+}
+
+// publishCorpusGauges mirrors the study's corpus-level totals into the
+// registry after a run (complete or partial).
+func (s *Study) publishCorpusGauges() {
+	reg := s.Opts.Telemetry
+	if reg == nil {
+		return
+	}
+	if s.Store != nil {
+		reg.Gauge("core_host_records").Set(float64(s.Store.Stats("").HostRecords))
+	}
+	reg.Gauge("core_factored_moduli").Set(float64(len(s.Factored)))
+	if s.Fingerprint != nil {
+		reg.Gauge("core_fingerprint_labels").Set(float64(len(s.Fingerprint.Labels)))
+	}
+	if s.Report != nil {
+		reg.Gauge("core_pipeline_wall_seconds").Set(s.Report.Wall.Seconds())
+		reg.Gauge("core_pipeline_cpu_seconds").Set(s.Report.CPU.Seconds())
+	}
+	reg.Counter("core_runs_total").Inc()
 }
 
 // AnalyzeStore runs the factoring, fingerprinting and longitudinal
@@ -187,10 +223,12 @@ func AnalyzeStore(ctx context.Context, store *scanstore.Store, opts Options) (*S
 	s := &Study{Opts: opts, Store: store}
 	var noCliques map[string]string
 	var noExtra []string
-	report, err := (&pipeline.Runner{Progress: opts.Progress}).Run(ctx, s.analysisStages(&noCliques, &noExtra)...)
+	runner := &pipeline.Runner{Progress: opts.Progress, Metrics: opts.Telemetry, Tracer: opts.Tracer}
+	report, err := runner.Run(ctx, s.analysisStages(&noCliques, &noExtra)...)
 	s.Report = report
+	s.publishCorpusGauges()
 	if err != nil {
-		return nil, err
+		return s, err
 	}
 	return s, nil
 }
@@ -219,7 +257,7 @@ func (s *Study) analysisStages(cliqueVendors *map[string]string, extraIPKeys *[]
 		}},
 		{Name: StageBatchGCD, Run: func(ctx context.Context, st *pipeline.Stats) error {
 			if opts.Subsets >= 2 {
-				results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{Subsets: opts.Subsets})
+				results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{Subsets: opts.Subsets, Metrics: opts.Telemetry})
 				if err != nil {
 					return fmt.Errorf("core: distributed batch GCD: %w", err)
 				}

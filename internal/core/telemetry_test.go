@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// TestRunPopulatesTelemetry is the acceptance check for the telemetry
+// wiring: one small run with a shared registry and tracer must leave
+// metrics from the pipeline, population, distgcd and core layers in the
+// registry, and a trace with stage spans nested under the pipeline root
+// plus per-node batch-GCD spans on their own tracks.
+func TestRunPopulatesTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	tr := telemetry.NewTracer()
+	_, err := Run(context.Background(), Options{
+		Seed:      11,
+		KeyBits:   128,
+		Scale:     0.05,
+		Subsets:   3,
+		Telemetry: reg,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gauges and counters from every instrumented package.
+	for _, gauge := range []string{
+		`pipeline_stage_items_out{stage="Dedup"}`, // pipeline
+		"population_months_done",                  // population
+		"population_devices_alive",
+		"distgcd_moduli", // distgcd
+		"distgcd_peak_node_tree_bytes",
+		`distgcd_node_moduli{node="0"}`,
+		"core_host_records", // core
+		"core_pipeline_wall_seconds",
+	} {
+		if reg.GaugeValue(gauge) <= 0 {
+			t.Errorf("gauge %s not populated", gauge)
+		}
+	}
+	for _, counter := range []string{
+		"pipeline_stages_completed_total",
+		"population_observations_total",
+		"core_runs_total",
+	} {
+		if reg.CounterValue(counter) <= 0 {
+			t.Errorf("counter %s not populated", counter)
+		}
+	}
+	snap := reg.Snapshot()
+	var hasMonthHist bool
+	for _, h := range snap.Histograms {
+		if h.Name == "population_month_seconds" && h.Count > 0 {
+			hasMonthHist = true
+		}
+	}
+	if !hasMonthHist {
+		t.Error("population_month_seconds histogram not populated")
+	}
+
+	// Spans: pipeline root, one per stage, per-month harvest children,
+	// and per-node batch-GCD spans on non-zero tracks.
+	events := tr.Events()
+	names := map[string]int{}
+	nodeTracks := map[int]bool{}
+	for _, ev := range events {
+		names[ev.Name]++
+		if strings.HasPrefix(ev.Name, "node") {
+			nodeTracks[ev.TID] = true
+		}
+	}
+	for _, want := range []string{"pipeline", StageSimulate, StageHarvest, StageDedup, StageBatchGCD, StageFingerprint, StageAnalyze} {
+		if names[want] == 0 {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	if names["node0.build"] == 0 || names["node0.reduce"] == 0 {
+		t.Errorf("trace missing per-node spans (have %v)", names)
+	}
+	if len(nodeTracks) != 3 {
+		t.Errorf("node spans should cover 3 tracks, got %v", nodeTracks)
+	}
+	if nodeTracks[0] {
+		t.Error("node spans should be on non-zero tracks")
+	}
+}
+
+// TestRunWithoutTelemetryIsNilSafe pins the zero-config path: no
+// registry, no tracer, everything still runs.
+func TestRunWithoutTelemetryIsNilSafe(t *testing.T) {
+	if _, err := Run(context.Background(), Options{
+		Seed: 12, KeyBits: 128, Scale: 0.02, Subsets: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

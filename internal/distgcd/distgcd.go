@@ -20,6 +20,7 @@ package distgcd
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/big"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/prodtree"
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 // Options configures a distributed run.
@@ -36,6 +38,13 @@ type Options struct {
 	// 81M-moduli run. Must be >= 1; 1 degenerates to the single-tree
 	// algorithm on one node.
 	Subsets int
+	// Metrics, when set, receives live run telemetry: distgcd_moduli,
+	// distgcd_subsets, distgcd_results, distgcd_total_cpu_seconds and
+	// distgcd_peak_node_tree_bytes gauges, plus per-node
+	// distgcd_node_tree_bytes{node="i"} / distgcd_node_busy_seconds
+	// gauges updated as each node finishes a phase — the per-node memory
+	// and CPU ledger the paper reports per cluster machine.
+	Metrics *telemetry.Registry
 }
 
 // Stats reports the cost profile of a run on the shared per-stage stats
@@ -71,6 +80,8 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	}
 	stats.Subsets = k
 	stats.ItemsIn = int64(len(moduli))
+	opts.Metrics.Gauge("distgcd_moduli").Set(float64(len(moduli)))
+	opts.Metrics.Gauge("distgcd_subsets").Set(float64(k))
 
 	distinct, backrefs := dedup(moduli)
 
@@ -89,7 +100,7 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 		if len(subsets[id]) == 0 {
 			continue
 		}
-		nodes = append(nodes, &node{id: id, moduli: subsets[id], origin: subsetOrigin[id]})
+		nodes = append(nodes, &node{id: id, moduli: subsets[id], origin: subsetOrigin[id], metrics: opts.Metrics})
 	}
 
 	// Phase 1: every node builds its subset product tree.
@@ -126,14 +137,18 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	}
 	stats.Wall = time.Since(start)
 	stats.ItemsOut = int64(len(results))
+	opts.Metrics.Gauge("distgcd_results").Set(float64(len(results)))
+	opts.Metrics.Gauge("distgcd_total_cpu_seconds").Set(stats.CPU.Seconds())
+	opts.Metrics.Gauge("distgcd_peak_node_tree_bytes").Set(float64(stats.Bytes))
 	return results, stats, nil
 }
 
 // node is one simulated cluster node.
 type node struct {
-	id     int
-	moduli []*big.Int
-	origin []int
+	id      int
+	moduli  []*big.Int
+	origin  []int
+	metrics *telemetry.Registry
 
 	tree      *prodtree.Tree
 	treeBytes int64
@@ -144,7 +159,19 @@ type node struct {
 	divisors []*big.Int
 }
 
+// publish mirrors the node's running cost counters into the registry,
+// one trace-view-style track per node, so a live scrape mid-run shows
+// which nodes are done with which phase.
+func (n *node) publish() {
+	label := fmt.Sprintf(`{node="%d"}`, n.id)
+	n.metrics.Gauge("distgcd_node_tree_bytes" + label).Set(float64(n.treeBytes))
+	n.metrics.Gauge("distgcd_node_busy_seconds" + label).Set(n.busy.Seconds())
+	n.metrics.Gauge("distgcd_node_moduli" + label).Set(float64(len(n.moduli)))
+}
+
 func (n *node) buildTree(ctx context.Context) error {
+	sp := telemetry.SpanFrom(ctx).ChildTrack(fmt.Sprintf("node%d.build", n.id), n.id+1)
+	defer sp.End()
 	t0 := time.Now()
 	tree, err := prodtree.NewCtx(ctx, n.moduli)
 	if err != nil {
@@ -153,6 +180,9 @@ func (n *node) buildTree(ctx context.Context) error {
 	n.tree = tree
 	n.treeBytes = tree.Bytes()
 	n.busy += time.Since(t0)
+	sp.SetArg("tree_bytes", n.treeBytes)
+	sp.SetArg("moduli", len(n.moduli))
+	n.publish()
 	return nil
 }
 
@@ -164,8 +194,10 @@ func (n *node) buildTree(ctx context.Context) error {
 // gcd(Ni, ∏ contributions) equals the divisor the single-tree algorithm
 // reports.
 func (n *node) reduceAll(ctx context.Context, products []*big.Int) error {
+	sp := telemetry.SpanFrom(ctx).ChildTrack(fmt.Sprintf("node%d.reduce", n.id), n.id+1)
+	defer sp.End()
 	t0 := time.Now()
-	defer func() { n.busy += time.Since(t0) }()
+	defer func() { n.busy += time.Since(t0); n.publish() }()
 
 	self := -1
 	selfRoot := n.tree.Root()

@@ -21,6 +21,8 @@ import (
 	"io"
 	"text/tabwriter"
 	"time"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 // Stats is the shared per-stage cost record. Every stage gets Wall and
@@ -118,21 +120,57 @@ func (r *RunReport) Stage(name string) *StageReport {
 }
 
 // WriteText dumps the per-stage report as an aligned text table — the
-// `weakkeys -metrics` output.
+// `weakkeys -metrics` output. The rate column is ItemsOut per wall
+// second; bytes are humanized so full-scale reports stay readable.
 func (r *RunReport) WriteText(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "stage\twall\tcpu\titems in\titems out\tbytes")
+	fmt.Fprintln(tw, "stage\twall\tcpu\titems in\titems out\trate\tbytes")
 	for _, sr := range r.Stages {
 		status := ""
 		if sr.Err != nil {
 			status = "\terror: " + sr.Err.Error()
 		}
-		fmt.Fprintf(tw, "%s\t%v\t%v\t%d\t%d\t%d%s\n",
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%d\t%d\t%s\t%s%s\n",
 			sr.Name, sr.Stats.Wall.Round(time.Microsecond), sr.Stats.CPU.Round(time.Microsecond),
-			sr.Stats.ItemsIn, sr.Stats.ItemsOut, sr.Stats.Bytes, status)
+			sr.Stats.ItemsIn, sr.Stats.ItemsOut,
+			HumanRate(sr.Stats.ItemsOut, sr.Stats.Wall), HumanBytes(sr.Stats.Bytes), status)
 	}
-	fmt.Fprintf(tw, "total\t%v\t%v\t\t\t\n", r.Wall.Round(time.Microsecond), r.CPU.Round(time.Microsecond))
+	fmt.Fprintf(tw, "total\t%v\t%v\t\t\t\t\n", r.Wall.Round(time.Microsecond), r.CPU.Round(time.Microsecond))
 	return tw.Flush()
+}
+
+// HumanRate formats an items-per-second throughput from a count and the
+// wall time it took ("-" when the wall time is zero or the count is not
+// positive — some stages legitimately record no item flow).
+func HumanRate(items int64, wall time.Duration) string {
+	if wall <= 0 || items <= 0 {
+		return "-"
+	}
+	rate := float64(items) / wall.Seconds()
+	switch {
+	case rate >= 1e6:
+		return fmt.Sprintf("%.1fM/s", rate/1e6)
+	case rate >= 1e3:
+		return fmt.Sprintf("%.1fk/s", rate/1e3)
+	case rate >= 10:
+		return fmt.Sprintf("%.0f/s", rate)
+	default:
+		return fmt.Sprintf("%.2f/s", rate)
+	}
+}
+
+// HumanBytes formats a byte count with a binary-prefix unit.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // Runner executes stages in order under one context.
@@ -140,6 +178,16 @@ type Runner struct {
 	// Progress, when set, receives a StageStart and a StageDone (or
 	// StageError) event per stage.
 	Progress ProgressFunc
+	// Metrics, when set, receives live mirrors of each stage's Stats:
+	// gauges pipeline_stage_{wall_seconds,cpu_seconds,items_in,items_out,
+	// bytes}{stage="X"} plus the pipeline_stages_completed_total and
+	// pipeline_stage_errors_total counters.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records one span per stage nested under a
+	// "pipeline" root span. The stage span rides the context into the
+	// stage (telemetry.SpanFrom), so stage internals can open child
+	// spans — the distgcd per-node tracks hang off it.
+	Tracer *telemetry.Tracer
 }
 
 // Run executes the stages sequentially. It returns the report for every
@@ -150,6 +198,10 @@ type Runner struct {
 // with errors.Is.
 func (r *Runner) Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
 	report := &RunReport{Stages: make([]StageReport, 0, len(stages))}
+	// The root span nests every stage span; it is the nil no-op span
+	// when no tracer is configured.
+	root := r.Tracer.Start("pipeline")
+	defer root.End()
 	for i, stage := range stages {
 		if err := ctx.Err(); err != nil {
 			err = fmt.Errorf("pipeline: before stage %s: %w", stage.Name, err)
@@ -158,14 +210,24 @@ func (r *Runner) Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
 			return report, err
 		}
 		r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageStart})
+		stageCtx := ctx
+		sp := root.Child(stage.Name)
+		if sp != nil {
+			stageCtx = telemetry.ContextWithSpan(ctx, sp)
+		}
 		var st Stats
 		cpu0 := processCPU()
 		t0 := time.Now()
-		err := stage.Run(ctx, &st)
+		err := stage.Run(stageCtx, &st)
 		st.Wall = time.Since(t0)
 		st.CPU = processCPU() - cpu0
 		report.Wall += st.Wall
 		report.CPU += st.CPU
+		sp.SetArg("items_in", st.ItemsIn)
+		sp.SetArg("items_out", st.ItemsOut)
+		sp.SetArg("bytes", st.Bytes)
+		sp.End()
+		r.mirror(stage.Name, st, err)
 		if err != nil {
 			err = fmt.Errorf("pipeline: stage %s: %w", stage.Name, err)
 			report.Stages = append(report.Stages, StageReport{Name: stage.Name, Stats: st, Err: err})
@@ -176,6 +238,26 @@ func (r *Runner) Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
 		r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageDone, Stats: st})
 	}
 	return report, nil
+}
+
+// mirror publishes one stage's Stats into the registry so a live
+// /metrics scrape sees per-stage costs as they complete.
+func (r *Runner) mirror(name string, st Stats, err error) {
+	if r.Metrics == nil {
+		return
+	}
+	label := `{stage="` + name + `"}`
+	r.Metrics.Gauge("pipeline_stage_wall_seconds" + label).Set(st.Wall.Seconds())
+	r.Metrics.Gauge("pipeline_stage_cpu_seconds" + label).Set(st.CPU.Seconds())
+	r.Metrics.Gauge("pipeline_stage_items_in" + label).Set(float64(st.ItemsIn))
+	r.Metrics.Gauge("pipeline_stage_items_out" + label).Set(float64(st.ItemsOut))
+	r.Metrics.Gauge("pipeline_stage_bytes" + label).Set(float64(st.Bytes))
+	r.Metrics.Histogram("pipeline_stage_wall_seconds_hist", telemetry.DurationBuckets).Observe(st.Wall.Seconds())
+	if err != nil {
+		r.Metrics.Counter("pipeline_stage_errors_total").Inc()
+	} else {
+		r.Metrics.Counter("pipeline_stages_completed_total").Inc()
+	}
 }
 
 func (r *Runner) emit(ev Event) {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 func TestRunAccumulatesStats(t *testing.T) {
@@ -144,6 +146,125 @@ func TestWriteText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report text missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestWriteTextRateAndBytesColumns(t *testing.T) {
+	report := &RunReport{
+		Stages: []StageReport{{
+			Name:  "harvest",
+			Stats: Stats{Wall: 2 * time.Second, ItemsIn: 100, ItemsOut: 5000, Bytes: 3 << 20},
+		}},
+		Wall: 2 * time.Second,
+	}
+	var sb strings.Builder
+	if err := report.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rate", "2.5k/s", "3.00 MiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHumanRate(t *testing.T) {
+	for _, tc := range []struct {
+		items int64
+		wall  time.Duration
+		want  string
+	}{
+		{0, 0, "-"},
+		{0, time.Second, "-"},
+		{-1239, time.Second, "-"},
+		{100, time.Second, "100/s"},
+		{5, 2 * time.Second, "2.50/s"},
+		{2_500_000, time.Second, "2.5M/s"},
+		{1500, time.Second, "1.5k/s"},
+	} {
+		if got := HumanRate(tc.items, tc.wall); got != tc.want {
+			t.Errorf("HumanRate(%d, %v) = %q, want %q", tc.items, tc.wall, got, tc.want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{5 << 30, "5.00 GiB"},
+	} {
+		if got := HumanBytes(tc.n); got != tc.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestRunnerTelemetry checks that a Runner with a registry and tracer
+// mirrors each stage's stats into gauges and records nested spans, and
+// that the stage context carries the stage span for deeper nesting.
+func TestRunnerTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	tr := telemetry.NewTracer()
+	r := &Runner{Metrics: reg, Tracer: tr}
+	_, err := r.Run(context.Background(),
+		Stage{Name: "work", Run: func(ctx context.Context, st *Stats) error {
+			st.ItemsIn, st.ItemsOut, st.Bytes = 10, 8, 4096
+			sp := telemetry.SpanFrom(ctx)
+			if sp == nil {
+				t.Error("stage context should carry the stage span")
+			}
+			sp.Child("inner").End()
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.GaugeValue(`pipeline_stage_items_out{stage="work"}`); got != 8 {
+		t.Errorf("items_out gauge = %g, want 8", got)
+	}
+	if got := reg.GaugeValue(`pipeline_stage_bytes{stage="work"}`); got != 4096 {
+		t.Errorf("bytes gauge = %g, want 4096", got)
+	}
+	if got := reg.GaugeValue(`pipeline_stage_wall_seconds{stage="work"}`); got <= 0 {
+		t.Errorf("wall gauge = %g, want > 0", got)
+	}
+	if got := reg.CounterValue("pipeline_stages_completed_total"); got != 1 {
+		t.Errorf("completed counter = %d, want 1", got)
+	}
+	names := map[string]bool{}
+	for _, ev := range tr.Events() {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"pipeline", "work", "inner"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestRunnerTelemetryCountsErrors(t *testing.T) {
+	reg := telemetry.New()
+	r := &Runner{Metrics: reg}
+	_, err := r.Run(context.Background(),
+		Stage{Name: "boom", Run: func(ctx context.Context, st *Stats) error {
+			return errors.New("boom")
+		}},
+	)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := reg.CounterValue("pipeline_stage_errors_total"); got != 1 {
+		t.Errorf("error counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("pipeline_stages_completed_total"); got != 0 {
+		t.Errorf("completed counter = %d, want 0", got)
 	}
 }
 

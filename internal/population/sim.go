@@ -10,6 +10,7 @@ import (
 	"github.com/factorable/weakkeys/internal/certs"
 	"github.com/factorable/weakkeys/internal/devices"
 	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
 	"github.com/factorable/weakkeys/internal/weakrsa"
 )
 
@@ -45,6 +46,13 @@ type Config struct {
 	// number of months completed and the total. Calls are synchronous on
 	// the simulating goroutine.
 	Progress func(done, total int)
+	// Metrics, when set, receives live harvest telemetry: the
+	// population_months_done / population_devices_alive gauges, the
+	// population_observations_total counter, the per-month
+	// population_month_seconds histogram and the
+	// population_sim_hosts_per_sec rate gauge — per-month simulation
+	// rates observable while a long harvest runs.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -467,20 +475,43 @@ func (s *Simulation) Run(ctx context.Context, store *scanstore.Store) error {
 			return err
 		}
 	}
+	reg := s.cfg.Metrics
+	monthsDone := reg.Gauge("population_months_done")
+	aliveGauge := reg.Gauge("population_devices_alive")
+	rateGauge := reg.Gauge("population_sim_hosts_per_sec")
+	monthHist := reg.Histogram("population_month_seconds", telemetry.DurationBuckets)
+	harvestSpan := telemetry.SpanFrom(ctx)
 	for m := Month(0); m < Months; m++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("population: harvest cancelled at month %d/%d: %w", int(m), int(Months), err)
 		}
+		sp := harvestSpan.Child(m.String())
+		t0 := time.Now()
 		for li := range s.cfg.Lines {
 			if err := s.step(li, m); err != nil {
+				sp.End()
 				return err
 			}
 		}
 		if src, ok := SourceFor(m); ok {
 			if err := s.observe(store, m, src); err != nil {
+				sp.End()
 				return err
 			}
 		}
+		alive := 0
+		for _, line := range s.alive {
+			alive += len(line)
+		}
+		elapsed := time.Since(t0)
+		monthsDone.Set(float64(int(m) + 1))
+		aliveGauge.Set(float64(alive))
+		monthHist.ObserveDuration(elapsed)
+		if secs := elapsed.Seconds(); secs > 0 {
+			rateGauge.Set(float64(alive) / secs)
+		}
+		sp.SetArg("devices_alive", alive)
+		sp.End()
 		if s.cfg.Progress != nil {
 			s.cfg.Progress(int(m)+1, int(Months))
 		}
@@ -495,6 +526,7 @@ func (s *Simulation) Run(ctx context.Context, store *scanstore.Store) error {
 // records host observations, applying the MITM substitution and
 // transmission bit errors.
 func (s *Simulation) observe(store *scanstore.Store, m Month, src scanstore.Source) error {
+	obs := s.cfg.Metrics.Counter("population_observations_total")
 	cov := Coverage(src)
 	date := m.Time()
 	for li, line := range s.alive {
@@ -530,6 +562,7 @@ func (s *Simulation) observe(store *scanstore.Store, m Month, src scanstore.Sour
 			if err != nil {
 				return err
 			}
+			obs.Inc()
 		}
 	}
 	return nil

@@ -16,6 +16,7 @@ import (
 	"github.com/factorable/weakkeys/internal/certs"
 	"github.com/factorable/weakkeys/internal/devices"
 	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 // Options configures a scan.
@@ -39,6 +40,41 @@ type Options struct {
 	// number of finished targets and the total. Calls are serialized but
 	// may come from any worker goroutine.
 	Progress func(done, total int)
+	// Metrics, when set, receives live scan telemetry: the
+	// scanner_dial_seconds and scanner_handshake_seconds latency
+	// histograms, scanner_targets_total / scanner_certs_total counters,
+	// and per-cause scanner_errors_total{cause="dial"|"handshake"|
+	// "heartbeat"} counters — the continuous rate/error telemetry a
+	// ZMap-style scan loop is operated by.
+	Metrics *telemetry.Registry
+}
+
+// instruments is the set of metric handles a scan resolves once up
+// front, so workers touch only atomics on the per-target hot path. All
+// handles are the nil no-op kind when Options.Metrics is unset.
+type instruments struct {
+	dial      *telemetry.Histogram
+	handshake *telemetry.Histogram
+	targets   *telemetry.Counter
+	certs     *telemetry.Counter
+	dialErrs  *telemetry.Counter
+	hsErrs    *telemetry.Counter
+	hbErrs    *telemetry.Counter
+	inFlight  *telemetry.Gauge
+}
+
+func (o Options) instruments() instruments {
+	reg := o.Metrics
+	return instruments{
+		dial:      reg.Histogram("scanner_dial_seconds", telemetry.DurationBuckets),
+		handshake: reg.Histogram("scanner_handshake_seconds", telemetry.DurationBuckets),
+		targets:   reg.Counter("scanner_targets_total"),
+		certs:     reg.Counter("scanner_certs_total"),
+		dialErrs:  reg.Counter(`scanner_errors_total{cause="dial"}`),
+		hsErrs:    reg.Counter(`scanner_errors_total{cause="handshake"}`),
+		hbErrs:    reg.Counter(`scanner_errors_total{cause="heartbeat"}`),
+		inFlight:  reg.Gauge("scanner_inflight_connections"),
+	}
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -89,12 +125,13 @@ func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error)
 		o.Progress(done, len(targets))
 		progressMu.Unlock()
 	}
+	ins := o.instruments()
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = scanOne(ctx, targets[i], o)
+				results[i] = scanOne(ctx, targets[i], o, ins)
 				finish()
 			}
 		}()
@@ -131,25 +168,38 @@ dispatch:
 	return results, nil
 }
 
-func scanOne(ctx context.Context, addr string, o Options) Result {
+func scanOne(ctx context.Context, addr string, o Options, ins instruments) Result {
+	ins.targets.Inc()
+	ins.inFlight.Add(1)
+	defer ins.inFlight.Add(-1)
 	res := Result{Addr: addr}
 	d := net.Dialer{Timeout: o.Timeout}
+	dial0 := time.Now()
 	conn, err := d.DialContext(ctx, "tcp", addr)
+	ins.dial.ObserveDuration(time.Since(dial0))
 	if err != nil {
+		ins.dialErrs.Inc()
 		res.Err = err
 		return res
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(o.Timeout))
+	hs0 := time.Now()
 	cert, suites, err := devices.FetchCertSuites(conn)
+	ins.handshake.ObserveDuration(time.Since(hs0))
 	if err != nil {
+		ins.hsErrs.Inc()
 		res.Err = err
 		return res
 	}
+	ins.certs.Inc()
 	res.Cert = cert
 	res.Suites = suites
 	if o.ProbeHeartbeat {
 		res.HeartbeatOK = devices.ProbeHeartbeat(conn, []byte("scan-probe")) == nil
+		if !res.HeartbeatOK {
+			ins.hbErrs.Inc()
+		}
 	}
 	return res
 }

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// The instrumentation hot-path guards: counter increments and histogram
+// observations must stay in the low nanoseconds, since the scanner and
+// simulation loops call them per target / per observation. make ci runs
+// these with a fixed iteration count as a smoke guard.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := New().Counter("bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter // telemetry disabled: the cost is one branch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_seconds", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := New().Histogram("bench_seconds", DurationBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	// The get-or-create path callers should hoist out of hot loops.
+	r := New()
+	r.Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_total")
+	}
+}

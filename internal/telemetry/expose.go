@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, counters
+// and gauges as plain samples, histograms as cumulative _bucket samples
+// with the spliced le label plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	typeLine := func(name, kind string) {
+		base := baseName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		typeLine(h.Name, "histogram")
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s %d\n", spliceLabel(h.Name, "_bucket", `le="`+formatFloat(bound)+`"`), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", spliceLabel(h.Name, "_bucket", `le="+Inf"`), h.Count)
+		fmt.Fprintf(w, "%s %s\n", spliceLabel(h.Name, "_sum", ""), formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s %d\n", spliceLabel(h.Name, "_count", ""), h.Count)
+	}
+	return nil
+}
+
+// baseName strips the inline {labels} suffix off a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// spliceLabel appends suffix to the base name and merges extra into the
+// inline label set: spliceLabel(`x{a="b"}`, "_bucket", `le="1"`) is
+// `x_bucket{a="b",le="1"}`.
+func spliceLabel(name, suffix, extra string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+	}
+	if extra != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extra
+	}
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteVars renders the snapshot as an expvar-style JSON object: the
+// conventional cmdline and memstats keys alongside one key per metric.
+// Histograms serialize as {count, sum, buckets:{"le": n, ...}} with
+// per-bucket (non-cumulative) counts.
+func (s Snapshot) WriteVars(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	vars := map[string]any{
+		"cmdline": os.Args,
+		"memstats": map[string]any{
+			"Alloc":      ms.Alloc,
+			"TotalAlloc": ms.TotalAlloc,
+			"Sys":        ms.Sys,
+			"HeapAlloc":  ms.HeapAlloc,
+			"HeapInuse":  ms.HeapInuse,
+			"NumGC":      ms.NumGC,
+		},
+	}
+	for _, c := range s.Counters {
+		vars[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		vars[g.Name] = g.Value
+	}
+	for _, h := range s.Histograms {
+		buckets := make(map[string]uint64, len(h.Counts))
+		for i, bound := range h.Bounds {
+			buckets[formatFloat(bound)] = h.Counts[i]
+		}
+		buckets["+Inf"] = h.Counts[len(h.Counts)-1]
+		vars[h.Name] = map[string]any{
+			"count":   h.Count,
+			"sum":     h.Sum,
+			"buckets": buckets,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(vars)
+}

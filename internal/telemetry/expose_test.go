@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition output for a fixed
+// registry: TYPE lines per family (emitted once even across labelled
+// variants), counters, gauges, and the cumulative histogram rendering
+// with the spliced le label.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter(`scanner_errors_total{cause="dial"}`).Add(3)
+	r.Counter(`scanner_errors_total{cause="handshake"}`).Add(1)
+	r.Gauge("distgcd_moduli").Set(4096)
+	h := r.Histogram(`rpc_seconds{svc="a"}`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE scanner_errors_total counter
+scanner_errors_total{cause="dial"} 3
+scanner_errors_total{cause="handshake"} 1
+# TYPE distgcd_moduli gauge
+distgcd_moduli 4096
+# TYPE rpc_seconds histogram
+rpc_seconds_bucket{svc="a",le="0.1"} 1
+rpc_seconds_bucket{svc="a",le="1"} 2
+rpc_seconds_bucket{svc="a",le="+Inf"} 3
+rpc_seconds_sum{svc="a"} 2.55
+rpc_seconds_count{svc="a"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSpliceLabel(t *testing.T) {
+	for _, tc := range []struct {
+		name, suffix, extra, want string
+	}{
+		{"x", "_bucket", `le="1"`, `x_bucket{le="1"}`},
+		{`x{a="b"}`, "_bucket", `le="1"`, `x_bucket{a="b",le="1"}`},
+		{`x{a="b"}`, "_sum", "", `x_sum{a="b"}`},
+		{"x", "_count", "", "x_count"},
+	} {
+		if got := spliceLabel(tc.name, tc.suffix, tc.extra); got != tc.want {
+			t.Errorf("spliceLabel(%q,%q,%q) = %q, want %q", tc.name, tc.suffix, tc.extra, got, tc.want)
+		}
+	}
+}
+
+func TestWriteVarsIsValidJSON(t *testing.T) {
+	r := New()
+	r.Counter("requests_total").Add(7)
+	r.Gauge("temp").Set(21.5)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteVars(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &vars); err != nil {
+		t.Fatalf("vars output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if vars["requests_total"] != float64(7) {
+		t.Errorf("requests_total = %v, want 7", vars["requests_total"])
+	}
+	if vars["temp"] != 21.5 {
+		t.Errorf("temp = %v, want 21.5", vars["temp"])
+	}
+	for _, key := range []string{"cmdline", "memstats", "lat"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("vars missing %q", key)
+		}
+	}
+	lat := vars["lat"].(map[string]any)
+	if lat["count"] != float64(1) || lat["sum"] != 0.5 {
+		t.Errorf("lat = %v", lat)
+	}
+}

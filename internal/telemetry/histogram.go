@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets is the default bucket layout for latency histograms:
+// 100µs to ~100s in roughly 1-2.5-5 decades, matching the spread between
+// a loopback dial and a full-scale pipeline stage.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 25, 50, 100,
+}
+
+// Histogram counts observations into fixed buckets with atomic
+// operations; the bucket layout is immutable after creation. Bounds are
+// inclusive upper bounds (an observation v lands in the first bucket
+// with v <= bound, the Prometheus "le" convention); values above every
+// bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value (nil-safe).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (~20) and the common latency
+	// values land early, so this beats binary search in practice and
+	// keeps the hot path branch-predictable.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds (nil-safe).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (nil-safe).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (nil-safe).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   name,
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total")
+	c.Add(5)
+	c.Inc()
+	c.Add(-3) // counters only go up; negative deltas are dropped
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+	if r.CounterValue("c_total") != 6 || r.GaugeValue("g") != 1.5 {
+		t.Error("by-name reads disagree with handles")
+	}
+	if r.CounterValue("absent") != 0 || r.GaugeValue("absent") != 0 {
+		t.Error("absent metrics should read zero")
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoops(t *testing.T) {
+	var r *Registry
+	// Every call on the nil registry and its nil handles must be safe.
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("y").Set(1)
+	r.Gauge("y").Add(1)
+	r.Histogram("z", DurationBuckets).Observe(1)
+	r.Histogram("z", DurationBuckets).ObserveDuration(time.Second)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Error("nil handles should read zero")
+	}
+	if h := r.Histogram("z", nil); h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// creation races, increment races, snapshot races — and checks the
+// totals. Run under -race (make ci does).
+func TestConcurrentRegistry(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("shared_gauge").Add(1)
+				r.Histogram("shared_hist", []float64{0.5}).Observe(0.25)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue("shared_total"); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.GaugeValue("shared_gauge"); got != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("shared_hist", nil)
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if want := float64(goroutines*perG) * 0.25; h.Sum() != want {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the "le" convention: a value equal
+// to an upper bound lands in that bucket, a hair above goes to the next,
+// and values above every bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 4.9, 5.0, 5.1, 100} {
+		h.Observe(v)
+	}
+	snap := h.snapshot("h")
+	// buckets: le=1 {0.5, 1.0}; le=2 {1.0001, 2.0}; le=5 {4.9, 5.0}; +Inf {5.1, 100}
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 8 {
+		t.Errorf("count = %d, want 8", snap.Count)
+	}
+	if want := 0.5 + 1 + 1.0001 + 2 + 4.9 + 5 + 5.1 + 100; snap.Sum != want {
+		t.Errorf("sum = %g, want %g", snap.Sum, want)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds should panic at creation")
+		}
+	}()
+	New().Histogram("bad", []float64{2, 1})
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := New()
+	r.Counter("zzz").Inc()
+	r.Counter("aaa").Inc()
+	r.Gauge("mmm").Set(1)
+	r.Gauge("bbb").Set(2)
+	s := r.Snapshot()
+	if s.Counters[0].Name != "aaa" || s.Counters[1].Name != "zzz" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Gauges[0].Name != "bbb" || s.Gauges[1].Name != "mmm" {
+		t.Errorf("gauges not sorted: %+v", s.Gauges)
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the diagnostics handler set for a registry:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   expvar-style JSON snapshot
+//	/debug/pprof  the standard pprof index, profile, trace, symbol
+//
+// The pprof handlers are mounted on this private mux, not the
+// http.DefaultServeMux, so importing this package never leaks profiling
+// endpoints into an application's own server.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.Snapshot().WriteVars(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running diagnostics HTTP server.
+type Server struct {
+	// Addr is the bound address, with the real port when the listen
+	// address requested :0.
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ListenAndServe starts the diagnostics server on addr (":8080",
+// "127.0.0.1:0", ...) and returns once the listener is bound; requests
+// are served on a background goroutine. Close releases it.
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server and its listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDiagnosticsRoundTrip drives the full mux over real HTTP: /metrics
+// exposition, /debug/vars JSON, and the pprof index.
+func TestDiagnosticsRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Counter("requests_total").Add(12)
+	reg.Gauge("inflight").Set(3)
+	reg.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.05)
+
+	ts := httptest.NewServer(NewMux(reg))
+	defer ts.Close()
+
+	code, body := fetch(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 12",
+		"inflight 3",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// A scrape after more traffic sees the new values (live, not cached).
+	reg.Counter("requests_total").Add(5)
+	_, body = fetch(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "requests_total 17") {
+		t.Errorf("second scrape should see 17:\n%s", body)
+	}
+
+	code, body = fetch(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars["requests_total"] != float64(17) {
+		t.Errorf("vars requests_total = %v, want 17", vars["requests_total"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("vars missing memstats")
+	}
+
+	code, body = fetch(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index looks wrong:\n%.200s", body)
+	}
+}
+
+func TestListenAndServeBindsEphemeralPort(t *testing.T) {
+	reg := New()
+	reg.Counter("x").Inc()
+	srv, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("Addr %q still has port 0", srv.Addr)
+	}
+	code, body := fetch(t, "http://"+srv.Addr+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "x 1") {
+		t.Errorf("scrape = %d %q", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Error("server should refuse connections after Close")
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event record ("X" complete events
+// only). Load the exported file at chrome://tracing or https://ui.perfetto.dev.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds since trace start
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records spans and exports them as Chrome trace_event JSON.
+// Nesting is positional, the trace_event way: spans on the same track
+// (TID) nest by time containment, so a stage span with per-node child
+// spans on distinct tracks renders as one row per node under the stage
+// row. A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []TraceEvent
+}
+
+// NewTracer creates a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now()}
+}
+
+// Span is one in-flight named interval. End it exactly once; Child
+// spans opened from it inherit its track unless ChildTrack is used.
+// A nil *Span is a valid no-op span.
+type Span struct {
+	tracer *Tracer
+	name   string
+	tid    int
+	start  time.Time
+
+	mu    sync.Mutex
+	args  map[string]any
+	ended bool
+}
+
+// Start opens a top-level span on track 0 (nil-safe).
+func (t *Tracer) Start(name string) *Span {
+	return t.span(name, 0)
+}
+
+func (t *Tracer) span(name string, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, name: name, tid: tid, start: time.Now()}
+}
+
+// Child opens a nested span on the same track (nil-safe).
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tracer.span(name, sp.tid)
+}
+
+// ChildTrack opens a nested span on its own track — one row per
+// concurrent worker in the trace view (nil-safe).
+func (sp *Span) ChildTrack(name string, track int) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tracer.span(name, track)
+}
+
+// SetArg attaches a key/value shown in the trace viewer's detail pane
+// (nil-safe).
+func (sp *Span) SetArg(key string, v any) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.args == nil {
+		sp.args = make(map[string]any)
+	}
+	sp.args[key] = v
+	sp.mu.Unlock()
+}
+
+// End closes the span and records its event. Extra Ends are ignored
+// (nil-safe).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	end := time.Now()
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	args := sp.args
+	sp.mu.Unlock()
+	t := sp.tracer
+	ev := TraceEvent{
+		Name:  sp.name,
+		Phase: "X",
+		TS:    float64(sp.start.Sub(t.t0).Nanoseconds()) / 1e3,
+		Dur:   float64(end.Sub(sp.start).Nanoseconds()) / 1e3,
+		PID:   1,
+		TID:   sp.tid,
+		Args:  args,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events (nil-safe).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// WriteJSON writes the trace in the Chrome trace_event JSON object
+// format (nil-safe: a nil tracer writes an empty trace).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteFile writes the trace to path (nil-safe).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the context's current span, or nil (which is a valid
+// no-op span, so callers chain unconditionally:
+// telemetry.SpanFrom(ctx).Child("phase")).
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRecordsNestedSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("pipeline")
+	stage := root.Child("BatchGCD")
+	node := stage.ChildTrack("node0.build", 1)
+	node.SetArg("moduli", 42)
+	node.End()
+	stage.End()
+	root.End()
+	root.End() // double End must not duplicate
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	// Events record at End, so innermost first.
+	byName := map[string]TraceEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	n, s, r := byName["node0.build"], byName["BatchGCD"], byName["pipeline"]
+	if n.TID != 1 || s.TID != 0 || r.TID != 0 {
+		t.Errorf("tids = %d/%d/%d, want 1/0/0", n.TID, s.TID, r.TID)
+	}
+	if n.Args["moduli"] != 42 {
+		t.Errorf("args = %v", n.Args)
+	}
+	// Time containment: parent starts no later and ends no earlier.
+	if s.TS > n.TS || s.TS+s.Dur < n.TS+n.Dur {
+		t.Errorf("stage span [%g,%g] does not contain node span [%g,%g]",
+			s.TS, s.TS+s.Dur, n.TS, n.TS+n.Dur)
+	}
+	if r.TS > s.TS || r.TS+r.Dur < s.TS+s.Dur {
+		t.Errorf("root span does not contain stage span")
+	}
+}
+
+// TestTraceJSONWellFormed re-parses the export and checks the Chrome
+// trace_event envelope: a traceEvents array of ph="X" events with
+// non-negative ts/dur and pid/tid set.
+func TestTraceJSONWellFormed(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("a")
+	sp.Child("b").End()
+	sp.End()
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d, want 2", len(trace.TraceEvents))
+	}
+	for _, ev := range trace.TraceEvents {
+		if ev.Phase != "X" {
+			t.Errorf("event %q phase = %q, want X", ev.Name, ev.Phase)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %q has negative ts/dur: %g/%g", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.PID != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.PID)
+		}
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer should hand out nil spans")
+	}
+	sp.SetArg("k", "v")
+	sp.End()
+	child := sp.Child("y")
+	child.End()
+	if sp.ChildTrack("z", 3) != nil {
+		t.Error("nil span children should be nil")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Errorf("nil tracer should export an empty trace: %s", sb.String())
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("root")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFrom(ctx); got != sp {
+		t.Error("SpanFrom should return the stored span")
+	}
+	if got := SpanFrom(context.Background()); got != nil {
+		t.Error("SpanFrom on a bare context should be nil")
+	}
+	// The nil result chains safely.
+	SpanFrom(context.Background()).Child("x").End()
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := root.ChildTrack("work", i+1)
+				sp.SetArg("j", j)
+				sp.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Events()); got != 801 {
+		t.Errorf("events = %d, want 801", got)
+	}
+}

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Telemetry smoke test: run weakkeys at small scale with the diagnostics
+# server, the trace export and the -metrics report all enabled, curl
+# /metrics once while the server is up, and assert the scrape is
+# populated from several packages and the trace file is valid JSON.
+set -eu
+
+TMP="$(mktemp -d)"
+trap 'kill "$WK_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/weakkeys" ./cmd/weakkeys
+
+# -hold keeps the server up after the short run so the scrape cannot
+# race run completion; -listen :0 avoids port collisions (the chosen
+# address is parsed from the log line).
+"$TMP/weakkeys" -scale 0.05 -bits 128 -subsets 3 \
+    -listen 127.0.0.1:0 -hold 30s \
+    -trace "$TMP/trace.json" -metrics -table 1 \
+    >"$TMP/stdout" 2>"$TMP/stderr" &
+WK_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#.*diagnostics on http://\([^/]*\)/metrics.*#\1#p' "$TMP/stderr" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$WK_PID" 2>/dev/null || { echo "smoke: weakkeys exited before binding diagnostics" >&2; cat "$TMP/stderr" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "smoke: never saw the diagnostics address" >&2; cat "$TMP/stderr" >&2; exit 1; }
+
+# Poll /metrics until the run has progressed enough to populate the
+# pipeline gauges (the -hold window guarantees the server outlives the run).
+OK=""
+for _ in $(seq 1 300); do
+    if curl -sf "http://$ADDR/metrics" >"$TMP/metrics" 2>/dev/null \
+        && grep -q '^pipeline_stages_completed_total' "$TMP/metrics" \
+        && grep -q '^population_months_done' "$TMP/metrics" \
+        && grep -q '^distgcd_moduli' "$TMP/metrics" \
+        && grep -q '^core_runs_total' "$TMP/metrics"; then
+        OK=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$OK" ] || { echo "smoke: /metrics never showed telemetry from all packages" >&2; cat "$TMP/metrics" 2>/dev/null >&2; exit 1; }
+[ -s "$TMP/metrics" ] || { echo "smoke: /metrics empty" >&2; exit 1; }
+
+curl -sf "http://$ADDR/debug/vars" | grep -q '"memstats"' \
+    || { echo "smoke: /debug/vars missing memstats" >&2; exit 1; }
+
+kill "$WK_PID" 2>/dev/null || true
+wait "$WK_PID" 2>/dev/null || true
+
+# The trace must exist, be valid JSON, and contain nested spans.
+[ -s "$TMP/trace.json" ] || { echo "smoke: trace file missing/empty" >&2; exit 1; }
+grep -q '"traceEvents"' "$TMP/trace.json" || { echo "smoke: no traceEvents" >&2; exit 1; }
+grep -q '"name":"pipeline"' "$TMP/trace.json" || { echo "smoke: no pipeline span" >&2; exit 1; }
+grep -q '"name":"node0.build"' "$TMP/trace.json" || { echo "smoke: no per-node span" >&2; exit 1; }
+
+# The -metrics report must include the rate/bytes columns.
+grep -q 'rate' "$TMP/stdout" || { echo "smoke: -metrics report missing rate column" >&2; cat "$TMP/stdout" >&2; exit 1; }
+
+echo "telemetry smoke ok ($(wc -l <"$TMP/metrics") metric lines from $ADDR)"
