@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke bench-telemetry
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke bench-telemetry
 
 # ci is the full gate: compile everything, vet, run the test suite under
-# the race detector, smoke-test the live telemetry path end to end, and
-# guard the instrumentation hot-path cost.
-ci: build vet race smoke bench-telemetry
+# the race detector (which includes every fault-injection test), smoke-
+# test the live telemetry path and the seeded-chaos recovery path end to
+# end, and guard the instrumentation hot-path cost.
+ci: build vet race smoke chaos-smoke bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -33,6 +34,13 @@ bench-pipeline:
 # scrapes /metrics once and asserts it is populated across packages.
 smoke:
 	sh ./scripts/smoke.sh
+
+# chaos-smoke runs both binaries under seeded fault injection: the
+# scanner must retry a faulty fleet back to a complete harvest, and the
+# distributed GCD must survive injected node crashes with output
+# identical to the fault-free run (counters checked via /metrics).
+chaos-smoke:
+	sh ./scripts/chaos-smoke.sh
 
 # bench-telemetry guards the instrumentation hot path: counter Add and
 # histogram Observe must stay in the low nanoseconds (fixed iteration

@@ -6,6 +6,16 @@
 // private keys fall out.
 //
 //	scanmock -devices 24 -vulnerable 8 -heartbleed
+//
+// Chaos testing: -chaos injects seeded connection faults (refuse, reset,
+// stall, truncated or garbled hellos) into every device, and the
+// scanner's retry loop is expected to recover the fleet anyway;
+// -chaos-every n faults exactly every nth connection per device, which
+// guarantees a single retry recovers it — the deterministic variant the
+// smoke test uses.
+//
+//	scanmock -chaos 0.3 -chaos-seed 42 -metrics
+//	scanmock -chaos-every 2 -retries 3
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/certs"
 	"github.com/factorable/weakkeys/internal/devices"
+	"github.com/factorable/weakkeys/internal/faults"
 	"github.com/factorable/weakkeys/internal/population"
 	"github.com/factorable/weakkeys/internal/scanner"
 	"github.com/factorable/weakkeys/internal/telemetry"
@@ -35,8 +46,15 @@ func main() {
 		heartbleed = flag.Bool("heartbleed", false, "send heartbeat probes (crashes vulnerable firmware)")
 		listen     = flag.String("listen", "", "serve live diagnostics on this address (/metrics, /debug/vars, /debug/pprof)")
 		metrics    = flag.Bool("metrics", false, "dump the final scan metrics snapshot (Prometheus text format) to stderr")
+		chaosRate  = flag.Float64("chaos", 0, "fraction of connections to fault (seeded mix of refuse/reset/stall)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the per-device fault plans and retry jitter")
+		chaosEvery = flag.Int("chaos-every", 0, "reset every nth connection per device (deterministic; n>=2 guarantees retry recovery)")
+		retries    = flag.Int("retries", 0, "scanner attempts per target (0 = default)")
 	)
 	flag.Parse()
+	if *chaosRate < 0 || *chaosRate > 1 {
+		fatal(fmt.Errorf("-chaos must be in [0,1]"))
+	}
 
 	reg := telemetry.New()
 	if *listen != "" {
@@ -73,6 +91,19 @@ func main() {
 			fatal(err)
 		}
 		srv := &devices.Server{Cert: cert, CrashOnHeartbeat: vulnerable}
+		switch {
+		case *chaosEvery > 0:
+			srv.Faults = faults.NewEveryN(*chaosEvery, faults.Reset)
+		case *chaosRate > 0:
+			// Stall gets a small share so timeouts exercise the retry
+			// path without dominating wall-clock; the rest splits
+			// between pre- and post-hello hangups.
+			srv.Faults = faults.NewPlan(*chaosSeed+int64(i), faults.Weights{
+				Refuse: *chaosRate * 0.45,
+				Reset:  *chaosRate * 0.45,
+				Stall:  *chaosRate * 0.10,
+			})
+		}
 		if vulnerable {
 			// Like 74% of the vulnerable devices in the paper's data:
 			// RSA key exchange only, so recorded traffic decrypts
@@ -97,10 +128,28 @@ func main() {
 	results, err := scanner.Scan(context.Background(), targets, scanner.Options{
 		Workers:        *workers,
 		ProbeHeartbeat: *heartbleed,
+		Timeout:        3 * time.Second,
+		MaxAttempts:    *retries,
+		RetrySeed:      *chaosSeed,
 		Metrics:        reg,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *chaosRate > 0 || *chaosEvery > 0 {
+		retried, recovered := 0, 0
+		for _, r := range results {
+			if r.Attempts > 1 {
+				retried++
+				if r.Err == nil {
+					recovered++
+				}
+			}
+		}
+		fmt.Printf("chaos: %d targets needed retries, %d recovered (%d total retries)\n",
+			retried, recovered, int(reg.CounterValue(`scanner_retries_total{cause="refused"}`)+
+				reg.CounterValue(`scanner_retries_total{cause="reset"}`)+
+				reg.CounterValue(`scanner_retries_total{cause="timeout"}`)))
 	}
 	var moduli []*big.Int
 	ok := 0

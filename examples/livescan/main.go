@@ -85,13 +85,13 @@ func main() {
 
 	// Scan the fleet over real TCP connections into the store.
 	store := scanstore.New()
-	_, stored, err := scanner.Harvest(context.Background(), store,
+	_, sum, err := scanner.Harvest(context.Background(), store,
 		time.Now().UTC().Truncate(24*time.Hour), scanstore.SourceCensys, targets,
 		scanner.Options{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scanned %d devices, stored %d observations\n", len(targets), stored)
+	fmt.Printf("scanned %d devices, stored %d observations\n", len(targets), sum.Stored)
 
 	// Factor and fingerprint.
 	moduli, keys := store.DistinctModuli()

@@ -22,12 +22,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"github.com/factorable/weakkeys/internal/analysis"
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/distgcd"
+	"github.com/factorable/weakkeys/internal/faults"
 	"github.com/factorable/weakkeys/internal/fingerprint"
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/population"
@@ -86,6 +89,18 @@ type Options struct {
 	// Tracer, when set, records nested spans (pipeline → stage → months
 	// and batch-GCD nodes) exportable as Chrome trace_event JSON.
 	Tracer *telemetry.Tracer
+	// GCDFaults, when set (and Subsets >= 2), injects node failures into
+	// the distributed batch GCD for chaos testing. The supervisor
+	// reassigns dead nodes' subsets; if a subset is abandoned anyway the
+	// run degrades to partial results recorded on Study.GCDPartial
+	// instead of failing the pipeline.
+	GCDFaults *faults.NodePlan
+	// GCDStragglerTimeout, when > 0, arms the distributed GCD's
+	// speculative re-execution of straggling nodes.
+	GCDStragglerTimeout time.Duration
+	// GCDMaxReassign is passed through to distgcd.Options.MaxReassign
+	// (0 = default, negative disables reassignment).
+	GCDMaxReassign int
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +130,10 @@ type Study struct {
 	Factored []batchgcd.Result
 	// GCDStats reports the distributed-run cost profile (Subsets >= 2).
 	GCDStats distgcd.Stats
+	// GCDPartial, when non-nil, records the subsets the distributed GCD
+	// abandoned after node failures: Factored is then a lower bound on
+	// the vulnerable set rather than exact.
+	GCDPartial *distgcd.PartialError
 	// Fingerprint is the Section 3.3 implementation analysis.
 	Fingerprint *fingerprint.Result
 	// Analyzer answers the longitudinal queries.
@@ -257,11 +276,21 @@ func (s *Study) analysisStages(cliqueVendors *map[string]string, extraIPKeys *[]
 		}},
 		{Name: StageBatchGCD, Run: func(ctx context.Context, st *pipeline.Stats) error {
 			if opts.Subsets >= 2 {
-				results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{Subsets: opts.Subsets, Metrics: opts.Telemetry})
-				if err != nil {
+				results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{
+					Subsets:          opts.Subsets,
+					Metrics:          opts.Telemetry,
+					Faults:           opts.GCDFaults,
+					StragglerTimeout: opts.GCDStragglerTimeout,
+					MaxReassign:      opts.GCDMaxReassign,
+				})
+				// A partial run (some subsets abandoned after node
+				// failures) is degraded data, not a failed pipeline: keep
+				// the surviving results and record what was lost.
+				var partial *distgcd.PartialError
+				if err != nil && !errors.As(err, &partial) {
 					return fmt.Errorf("core: distributed batch GCD: %w", err)
 				}
-				s.Factored, s.GCDStats = results, stats
+				s.Factored, s.GCDStats, s.GCDPartial = results, stats, partial
 				st.ItemsIn, st.ItemsOut, st.Bytes = stats.ItemsIn, stats.ItemsOut, stats.Bytes
 			} else {
 				results, err := batchgcd.FactorCtx(ctx, moduli)

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/faults"
 )
 
 // The device wire protocol is a deliberately minimal stand-in for the TLS
@@ -52,6 +53,12 @@ type Server struct {
 	// CrashOnHeartbeat marks firmware that dies when probed with a
 	// heartbeat (the Heartbleed-scan crash reports of Section 4.1/4.2).
 	CrashOnHeartbeat bool
+	// Faults, when set, injects seeded connection-level chaos before the
+	// protocol handler runs: refused and reset connections, stalls past
+	// the client deadline, truncated or garbled SERVERHELLOs, and
+	// crash-after-N-connections. A nil plan serves every connection
+	// normally. Same seed (and connection order) replays the same faults.
+	Faults *faults.Plan
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -79,7 +86,64 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		go s.handle(conn)
+		d := s.Faults.Next()
+		if d.Crash {
+			// Crash-after-N firmware: this connection is the device's
+			// last. Abort it and stop accepting, like the heartbeat
+			// crash path.
+			s.crashed.Store(true)
+			abortConn(conn)
+			s.Close()
+			return nil
+		}
+		if d.Action == faults.Pass {
+			go s.handle(conn)
+		} else {
+			go s.injectFault(conn, d.Action)
+		}
+	}
+}
+
+// abortConn closes conn with an RST rather than an orderly FIN, so the
+// peer observes a connection reset — what a crashing embedded stack
+// produces.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// injectFault serves one connection according to a fault decision
+// instead of the real protocol handler.
+func (s *Server) injectFault(conn net.Conn, a faults.Action) {
+	if a == faults.Refuse {
+		// Slam the door before reading anything: the client's dial
+		// succeeds and its first read fails.
+		abortConn(conn)
+		return
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if _, err := r.ReadString('\n'); err != nil {
+		return
+	}
+	switch a {
+	case faults.Reset:
+		abortConn(conn)
+	case faults.Stall:
+		// Hold the connection open without answering until the client
+		// gives up (its deadline) and closes; the discard read returns
+		// on that close.
+		io.Copy(io.Discard, r)
+	case faults.Truncate:
+		s.mu.Lock()
+		der := s.derCache
+		s.mu.Unlock()
+		fmt.Fprintf(conn, "%s %d %s\n", msgServerHello, len(der), SuiteRSA)
+		conn.Write(der[:len(der)/2])
+	case faults.Garble:
+		io.WriteString(conn, "SRVHELO ?garbled?\n")
 	}
 }
 

@@ -1,13 +1,17 @@
 package devices
 
 import (
+	"errors"
+	"io"
 	"math/big"
 	"math/rand"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/factorable/weakkeys/internal/certs"
+	"github.com/factorable/weakkeys/internal/faults"
 	"github.com/factorable/weakkeys/internal/weakrsa"
 )
 
@@ -182,5 +186,107 @@ func TestRSAOnlyClassifier(t *testing.T) {
 		if got := RSAOnly(c.suites); got != c.want {
 			t.Errorf("RSAOnly(%v) = %v, want %v", c.suites, got, c.want)
 		}
+	}
+}
+
+// --- fault injection ---
+
+func TestFaultRefuseAndReset(t *testing.T) {
+	for _, action := range []faults.Action{faults.Refuse, faults.Reset} {
+		srv := &Server{Cert: serverCert(t), Faults: faults.NewEveryN(1, action)}
+		addr := startServer(t, srv)
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			continue // the RST raced connect() on loopback: fault delivered
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := FetchCert(conn); err == nil {
+			t.Errorf("%v: handshake should fail", action)
+		}
+		conn.Close()
+	}
+}
+
+func TestFaultStallHitsClientDeadline(t *testing.T) {
+	srv := &Server{Cert: serverCert(t), Faults: faults.NewEveryN(1, faults.Stall)}
+	addr := startServer(t, srv)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(150 * time.Millisecond))
+	_, err = FetchCert(conn)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("stalled handshake error = %v, want timeout", err)
+	}
+}
+
+func TestFaultTruncateCutsCertificate(t *testing.T) {
+	srv := &Server{Cert: serverCert(t), Faults: faults.NewEveryN(1, faults.Truncate)}
+	addr := startServer(t, srv)
+	conn := dial(t, addr)
+	_, err := FetchCert(conn)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated payload error = %v, want unexpected EOF", err)
+	}
+}
+
+func TestFaultGarbleIsProtocolError(t *testing.T) {
+	srv := &Server{Cert: serverCert(t), Faults: faults.NewEveryN(1, faults.Garble)}
+	addr := startServer(t, srv)
+	conn := dial(t, addr)
+	_, err := FetchCert(conn)
+	if err == nil || !strings.Contains(err.Error(), "unexpected server response") {
+		t.Errorf("garbled hello error = %v, want protocol error", err)
+	}
+}
+
+func TestFaultEveryOtherConnection(t *testing.T) {
+	// Every-2 plan: connection 1 reset, connection 2 served — the shape
+	// a retrying scanner recovers from deterministically.
+	srv := &Server{Cert: serverCert(t), Faults: faults.NewEveryN(2, faults.Reset)}
+	addr := startServer(t, srv)
+	c1 := dial(t, addr)
+	if _, err := FetchCert(c1); err == nil {
+		t.Error("first connection should be reset")
+	}
+	c2 := dial(t, addr)
+	if _, err := FetchCert(c2); err != nil {
+		t.Errorf("second connection should be served: %v", err)
+	}
+}
+
+func TestFaultCrashAfterN(t *testing.T) {
+	srv := &Server{Cert: serverCert(t), Faults: faults.NewPlan(1, faults.Weights{}).CrashAfter(3)}
+	addr := startServer(t, srv)
+	for i := 0; i < 2; i++ {
+		conn := dial(t, addr)
+		if _, err := FetchCert(conn); err != nil {
+			t.Fatalf("connection %d before the crash should be served: %v", i+1, err)
+		}
+	}
+	c3, err := net.Dial("tcp", addr.String())
+	if err == nil {
+		c3.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, ferr := FetchCert(c3); ferr == nil {
+			t.Error("third connection should hit the crash")
+		}
+		c3.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Crashed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !srv.Crashed() {
+		t.Fatal("device did not record the crash")
+	}
+	if c4, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		c4.SetDeadline(time.Now().Add(time.Second))
+		if _, ferr := FetchCert(c4); ferr == nil {
+			t.Error("crashed device still served a certificate")
+		}
+		c4.Close()
 	}
 }

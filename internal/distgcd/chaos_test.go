@@ -1,0 +1,180 @@
+package distgcd
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+func divisorsByIndex(res []batchgcd.Result) map[int]string {
+	m := make(map[int]string, len(res))
+	for _, r := range res {
+		m[r.Index] = r.Divisor.String()
+	}
+	return m
+}
+
+// TestNodeCrashMidReduceRecovered is the distgcd half of the chaos
+// acceptance: a node dies in the reduce phase, the supervisor reassigns
+// its subset (rebuilding the lost tree on the replacement), and the
+// vulnerable-moduli output is identical to a fault-free run.
+func TestNodeCrashMidReduceRecovered(t *testing.T) {
+	moduli, _ := mixedCorpus(t, 21, 6, 4, 48)
+	clean, _, err := Run(context.Background(), moduli, Options{Subsets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	plan := faults.NewNodePlan().Crash(1, faults.PhaseReduce)
+	res, stats, err := Run(context.Background(), moduli, Options{Subsets: 4, Faults: plan, Metrics: reg})
+	if err != nil {
+		t.Fatalf("supervisor should recover a single crash: %v", err)
+	}
+	want, got := divisorsByIndex(clean), divisorsByIndex(res)
+	if len(got) != len(want) {
+		t.Fatalf("chaos run found %d vulnerable, clean run %d", len(got), len(want))
+	}
+	for i, d := range want {
+		if got[i] != d {
+			t.Errorf("index %d: divisor %q, clean run had %q", i, got[i], d)
+		}
+	}
+	if stats.Reassigned != 1 {
+		t.Errorf("stats.Reassigned = %d, want 1", stats.Reassigned)
+	}
+	if stats.LostSubsets != 0 {
+		t.Errorf("stats.LostSubsets = %d, want 0", stats.LostSubsets)
+	}
+	if v := reg.CounterValue("distgcd_node_reassignments_total"); v != 1 {
+		t.Errorf("distgcd_node_reassignments_total = %d, want 1", v)
+	}
+	if v := reg.CounterValue("distgcd_node_failures_total"); v != 1 {
+		t.Errorf("distgcd_node_failures_total = %d, want 1", v)
+	}
+}
+
+func TestNodeCrashDuringBuildRecovered(t *testing.T) {
+	moduli, _ := mixedCorpus(t, 22, 5, 3, 48)
+	clean, _, err := Run(context.Background(), moduli, Options{Subsets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewNodePlan().Crash(0, faults.PhaseBuild).Crash(2, faults.PhaseReduce)
+	res, stats, err := Run(context.Background(), moduli, Options{Subsets: 3, Faults: plan})
+	if err != nil {
+		t.Fatalf("two single crashes on different nodes must be recovered: %v", err)
+	}
+	want, got := divisorsByIndex(clean), divisorsByIndex(res)
+	if len(got) != len(want) {
+		t.Fatalf("chaos run found %d vulnerable, clean run %d", len(got), len(want))
+	}
+	for i, d := range want {
+		if got[i] != d {
+			t.Errorf("index %d: divisor %q, clean run had %q", i, got[i], d)
+		}
+	}
+	if stats.Reassigned != 2 {
+		t.Errorf("stats.Reassigned = %d, want 2", stats.Reassigned)
+	}
+}
+
+func TestNodeCrashDegradesToPartial(t *testing.T) {
+	// Index 1 shares a prime with index 2; with k=2 they sit on
+	// different nodes. MaxReassign < 0 disables recovery, so killing
+	// node 1 must surface a PartialError while node 0's subset still
+	// reports its internal clique.
+	moduli, want := mixedCorpus(t, 23, 4, 4, 48)
+	reg := telemetry.New()
+	plan := faults.NewNodePlan().Crash(1, faults.PhaseReduce)
+	res, stats, err := Run(context.Background(), moduli,
+		Options{Subsets: 2, Faults: plan, MaxReassign: -1, Metrics: reg})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(pe.Failures) != 1 || pe.Failures[0].Node != 1 || pe.Failures[0].Phase != faults.PhaseReduce {
+		t.Errorf("failures = %+v", pe.Failures)
+	}
+	if !errors.Is(err, faults.ErrNodeCrash) {
+		t.Error("PartialError should wrap the node's terminal error")
+	}
+	if stats.LostSubsets != 1 {
+		t.Errorf("stats.LostSubsets = %d, want 1", stats.LostSubsets)
+	}
+	// Partial results: node 0 (even indices) still reports, node 1's
+	// divisors are gone. Every surviving result must be genuine.
+	for _, r := range res {
+		if r.Index%2 != 0 {
+			t.Errorf("index %d came from the dead node", r.Index)
+		}
+		if !want[r.Index] {
+			t.Errorf("index %d reported vulnerable but is not", r.Index)
+		}
+	}
+	if v := reg.CounterValue("distgcd_node_reassignments_total"); v != 0 {
+		t.Errorf("reassignments = %d with reassignment disabled", v)
+	}
+}
+
+func TestStragglerSpeculativelyReexecuted(t *testing.T) {
+	moduli, _ := mixedCorpus(t, 24, 6, 4, 48)
+	clean, _, err := Run(context.Background(), moduli, Options{Subsets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	// Node 2 stalls for far longer than the straggler window in each
+	// phase; the speculative duplicate (build: fresh tree, reduce:
+	// shared tree) must carry the run without waiting out the stall.
+	plan := faults.NewNodePlan().
+		Straggle(2, faults.PhaseBuild, 30*time.Second).
+		Straggle(2, faults.PhaseReduce, 30*time.Second)
+	start := time.Now()
+	res, _, err := Run(context.Background(), moduli, Options{
+		Subsets: 4, Faults: plan, StragglerTimeout: 50 * time.Millisecond, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run waited out the straggler: %v", elapsed)
+	}
+	want, got := divisorsByIndex(clean), divisorsByIndex(res)
+	if len(got) != len(want) {
+		t.Fatalf("speculative run found %d vulnerable, clean run %d", len(got), len(want))
+	}
+	for i, d := range want {
+		if got[i] != d {
+			t.Errorf("index %d: divisor %q, clean run had %q", i, got[i], d)
+		}
+	}
+	if v := reg.CounterValue("distgcd_stragglers_total"); v < 2 {
+		t.Errorf("distgcd_stragglers_total = %d, want >= 2", v)
+	}
+}
+
+func TestChaosRunDeterministic(t *testing.T) {
+	moduli, _ := mixedCorpus(t, 25, 5, 3, 48)
+	run := func() string {
+		plan := faults.NewNodePlan().Crash(0, faults.PhaseBuild).Crash(1, faults.PhaseReduce)
+		res, _, err := Run(context.Background(), moduli, Options{Subsets: 3, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, r := range res {
+			out += r.Divisor.String() + "@"
+			out += string(rune('0'+r.Index)) + ";"
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same-plan chaos runs differ:\n%s\n%s", a, b)
+	}
+}

@@ -22,10 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"sync"
+	"sort"
 	"time"
 
 	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/faults"
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/prodtree"
 	"github.com/factorable/weakkeys/internal/telemetry"
@@ -43,8 +44,26 @@ type Options struct {
 	// distgcd_peak_node_tree_bytes gauges, plus per-node
 	// distgcd_node_tree_bytes{node="i"} / distgcd_node_busy_seconds
 	// gauges updated as each node finishes a phase — the per-node memory
-	// and CPU ledger the paper reports per cluster machine.
+	// and CPU ledger the paper reports per cluster machine. The
+	// supervisor adds distgcd_node_failures_total,
+	// distgcd_node_reassignments_total and distgcd_stragglers_total.
 	Metrics *telemetry.Registry
+	// Faults, when set, injects node failures for chaos testing: a node
+	// whose (id, phase) is armed dies at phase entry with
+	// faults.ErrNodeCrash (standing in for a machine loss) or stalls
+	// before starting work. Injections are one-shot, so a reassigned
+	// re-run of the subset survives — the recovery path under test.
+	Faults *faults.NodePlan
+	// StragglerTimeout, when > 0, arms speculative execution: a node
+	// that has not finished its current phase within this window is
+	// duplicated onto a fresh worker and the first finisher wins (the
+	// MapReduce "backup task" defence). Zero disables speculation.
+	StragglerTimeout time.Duration
+	// MaxReassign bounds how many times a dead node's subset is
+	// reassigned before the run abandons the subset and degrades to
+	// partial results (a *PartialError). 0 means the default of 2;
+	// negative disables reassignment entirely.
+	MaxReassign int
 }
 
 // Stats reports the cost profile of a run on the shared per-stage stats
@@ -57,6 +76,11 @@ type Stats struct {
 	pipeline.Stats
 	// Subsets is the effective subset count k (clamped to the input size).
 	Subsets int
+	// Reassigned counts subset re-runs after node deaths.
+	Reassigned int
+	// LostSubsets counts subsets abandoned after reassignment ran out;
+	// non-zero only when Run also returns a *PartialError.
+	LostSubsets int
 }
 
 // Run executes the partitioned batch GCD over moduli and returns the
@@ -65,6 +89,14 @@ type Stats struct {
 // The context cancels in-flight work mid-computation: every node checks
 // it per tree level, so cancellation returns within one level's work
 // with an error wrapping the context's.
+//
+// Node failures (injected via Options.Faults, or any worker returning
+// faults.ErrNodeCrash) are handled by a supervisor: the dead node's
+// subset is reassigned to a fresh worker, and only after MaxReassign
+// consecutive deaths is the subset abandoned. If some subsets finish
+// and others are abandoned, Run returns the surviving results together
+// with a *PartialError summarising what was lost, so an hours-long
+// cluster job degrades instead of evaporating.
 func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Result, Stats, error) {
 	start := time.Now()
 	var stats Stats
@@ -80,8 +112,14 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	}
 	stats.Subsets = k
 	stats.ItemsIn = int64(len(moduli))
+	if opts.MaxReassign == 0 {
+		opts.MaxReassign = 2
+	} else if opts.MaxReassign < 0 {
+		opts.MaxReassign = 0
+	}
 	opts.Metrics.Gauge("distgcd_moduli").Set(float64(len(moduli)))
 	opts.Metrics.Gauge("distgcd_subsets").Set(float64(k))
+	ins := newGCDInstruments(opts.Metrics)
 
 	distinct, backrefs := dedup(moduli)
 
@@ -100,28 +138,60 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 		if len(subsets[id]) == 0 {
 			continue
 		}
-		nodes = append(nodes, &node{id: id, moduli: subsets[id], origin: subsetOrigin[id], metrics: opts.Metrics})
+		nodes = append(nodes, &node{id: id, moduli: subsets[id], origin: subsetOrigin[id],
+			faults: opts.Faults, metrics: opts.Metrics})
 	}
 
-	// Phase 1: every node builds its subset product tree.
-	if err := eachNode(ctx, nodes, func(n *node) error { return n.buildTree(ctx) }); err != nil {
-		return nil, stats, err
+	// Phase 1 (supervised): every node builds its subset product tree.
+	// A speculative build duplicate starts from scratch — the straggler
+	// holds no state worth sharing.
+	buildWork := func(ctx context.Context, n *node) error { return n.buildTree(ctx) }
+	built, lostBuild := runPhase(ctx, nodes, faults.PhaseBuild, buildWork,
+		func(n *node) *node { return n.replacement() }, opts, ins)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("distgcd: cancelled: %w", err)
+	}
+	if len(built) == 0 {
+		return nil, stats, fmt.Errorf("distgcd: every subset lost in build phase: %w", lostBuild[0].Err)
 	}
 
-	// Exchange: gather all subset products (the cluster all-to-all).
-	products := make([]*big.Int, len(nodes))
-	for i, n := range nodes {
+	// Exchange: gather the surviving subset products (the cluster
+	// all-to-all). A subset lost in build simply isn't part of the
+	// exchange — the survivors' pairwise GCDs are still exact.
+	products := make([]*big.Int, len(built))
+	for i, n := range built {
 		products[i] = n.tree.Root()
 	}
 
-	// Phase 2: every node pairs every product with its own subset.
-	if err := eachNode(ctx, nodes, func(n *node) error { return n.reduceAll(ctx, products) }); err != nil {
-		return nil, stats, err
+	// Phase 2 (supervised): every node pairs every product with its own
+	// subset. A replacement for a node that died mid-reduce lost its
+	// tree with the machine and rebuilds it first; a speculative
+	// duplicate of a live straggler shares the original's tree, which is
+	// read-only during remainder computation.
+	reduceWork := func(ctx context.Context, n *node) error {
+		if n.tree == nil {
+			if err := n.buildTree(ctx); err != nil {
+				return err
+			}
+		}
+		return n.reduceAll(ctx, products)
+	}
+	reduceSpec := func(n *node) *node {
+		dup := n.replacement()
+		dup.tree, dup.treeBytes = n.tree, n.treeBytes
+		return dup
+	}
+	finished, lostReduce := runPhase(ctx, built, faults.PhaseReduce, reduceWork, reduceSpec, opts, ins)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("distgcd: cancelled: %w", err)
+	}
+	if len(finished) == 0 {
+		return nil, stats, fmt.Errorf("distgcd: every subset lost in reduce phase: %w", lostReduce[0].Err)
 	}
 
-	// Collect results and stats.
+	// Collect results and stats from the subsets that made it.
 	var results []batchgcd.Result
-	for _, n := range nodes {
+	for _, n := range finished {
 		stats.CPU += n.busy
 		if b := n.treeBytes; b > stats.Bytes {
 			stats.Bytes = b
@@ -135,11 +205,20 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 			}
 		}
 	}
+	// Supervision can reorder completion; keep the output canonical so
+	// same-seed chaos runs are byte-for-byte identical to clean runs.
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+
 	stats.Wall = time.Since(start)
 	stats.ItemsOut = int64(len(results))
+	stats.Reassigned = int(ins.reassignN.Load())
+	stats.LostSubsets = len(lostBuild) + len(lostReduce)
 	opts.Metrics.Gauge("distgcd_results").Set(float64(len(results)))
 	opts.Metrics.Gauge("distgcd_total_cpu_seconds").Set(stats.CPU.Seconds())
 	opts.Metrics.Gauge("distgcd_peak_node_tree_bytes").Set(float64(stats.Bytes))
+	if stats.LostSubsets > 0 {
+		return results, stats, &PartialError{Failures: append(lostBuild, lostReduce...)}
+	}
 	return results, stats, nil
 }
 
@@ -148,15 +227,41 @@ type node struct {
 	id      int
 	moduli  []*big.Int
 	origin  []int
+	faults  *faults.NodePlan
 	metrics *telemetry.Registry
 
 	tree      *prodtree.Tree
 	treeBytes int64
 	busy      time.Duration
+	divisors  []*big.Int
+}
 
-	// selfIdx is this node's index in the exchanged products slice,
-	// found by pointer identity with its own root.
-	divisors []*big.Int
+// replacement is a fresh worker for the same subset — the supervisor's
+// reassignment target after this node dies, or a speculative duplicate.
+// It shares the immutable subset (moduli, origins) but none of the
+// dead node's state.
+func (n *node) replacement() *node {
+	return &node{id: n.id, moduli: n.moduli, origin: n.origin, faults: n.faults, metrics: n.metrics}
+}
+
+// inject applies any scheduled fault for this node's phase: a straggle
+// stalls the worker (long enough to trip the supervisor's speculation
+// window), a crash kills it with faults.ErrNodeCrash. Both are one-shot
+// in the plan, so the re-execution of this subset runs clean.
+func (n *node) inject(ctx context.Context, phase faults.Phase) error {
+	if d := n.faults.StraggleFor(n.id, phase); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if n.faults.CrashFires(n.id, phase) {
+		return fmt.Errorf("distgcd: node %d (%s): %w", n.id, phase, faults.ErrNodeCrash)
+	}
+	return nil
 }
 
 // publish mirrors the node's running cost counters into the registry,
@@ -172,6 +277,9 @@ func (n *node) publish() {
 func (n *node) buildTree(ctx context.Context) error {
 	sp := telemetry.SpanFrom(ctx).ChildTrack(fmt.Sprintf("node%d.build", n.id), n.id+1)
 	defer sp.End()
+	if err := n.inject(ctx, faults.PhaseBuild); err != nil {
+		return err
+	}
 	t0 := time.Now()
 	tree, err := prodtree.NewCtx(ctx, n.moduli)
 	if err != nil {
@@ -196,13 +304,19 @@ func (n *node) buildTree(ctx context.Context) error {
 func (n *node) reduceAll(ctx context.Context, products []*big.Int) error {
 	sp := telemetry.SpanFrom(ctx).ChildTrack(fmt.Sprintf("node%d.reduce", n.id), n.id+1)
 	defer sp.End()
+	if err := n.inject(ctx, faults.PhaseReduce); err != nil {
+		return err
+	}
 	t0 := time.Now()
 	defer func() { n.busy += time.Since(t0); n.publish() }()
 
+	// Find this node's own product in the exchange by value: a
+	// reassigned worker rebuilt its tree, so its root is a different
+	// *big.Int from the one exchanged, with the same value.
 	self := -1
 	selfRoot := n.tree.Root()
 	for i, p := range products {
-		if p == selfRoot {
+		if p.Cmp(selfRoot) == 0 {
 			self = i
 			break
 		}
@@ -248,30 +362,6 @@ func (n *node) reduceAll(ctx context.Context, products []*big.Int) error {
 }
 
 var one = big.NewInt(1)
-
-// eachNode runs fn on every node concurrently and waits; the first error
-// (or the context's) is returned.
-func eachNode(ctx context.Context, nodes []*node, fn func(*node) error) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	errs := make([]error, len(nodes))
-	var wg sync.WaitGroup
-	for i, n := range nodes {
-		wg.Add(1)
-		go func(i int, n *node) {
-			defer wg.Done()
-			errs[i] = fn(n)
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return ctx.Err()
-}
 
 // dedup mirrors batchgcd's deduplication so both entry points agree on
 // what "vulnerable" means for repeated inputs.

@@ -1,0 +1,170 @@
+package distgcd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// NodeFailure records one subset permanently lost to a node failure.
+type NodeFailure struct {
+	// Node is the subset/node index (the round-robin partition id).
+	Node int
+	// Phase is the phase the node died in ("build" or "reduce").
+	Phase faults.Phase
+	// Err is the terminal error after reassignment was exhausted.
+	Err error
+}
+
+// PartialError reports that the run completed but some subsets were
+// abandoned after their nodes failed and reassignment ran out: the
+// returned results are valid for the surviving subsets but GCD pairs
+// involving a lost subset's moduli may be missing. Callers that prefer
+// partial coverage over no coverage (a cluster job hours in) can detect
+// it with errors.As and keep the results.
+type PartialError struct {
+	Failures []NodeFailure
+}
+
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distgcd: %d subset(s) lost:", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, " node %d (%s): %v;", f.Node, f.Phase, f.Err)
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+// Unwrap exposes each lost subset's terminal error, so
+// errors.Is(err, faults.ErrNodeCrash) sees through the summary.
+func (e *PartialError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f.Err
+	}
+	return errs
+}
+
+// gcdInstruments is the supervisor's telemetry: failures detected,
+// subsets reassigned, stragglers speculatively duplicated.
+type gcdInstruments struct {
+	failures   *telemetry.Counter // distgcd_node_failures_total
+	reassign   *telemetry.Counter // distgcd_node_reassignments_total
+	stragglers *telemetry.Counter // distgcd_stragglers_total
+	reassignN  atomic.Int64
+}
+
+func newGCDInstruments(reg *telemetry.Registry) *gcdInstruments {
+	return &gcdInstruments{
+		failures:   reg.Counter("distgcd_node_failures_total"),
+		reassign:   reg.Counter("distgcd_node_reassignments_total"),
+		stragglers: reg.Counter("distgcd_stragglers_total"),
+	}
+}
+
+// runPhase pushes every node through one phase under supervision,
+// concurrently. It returns the nodes that finished the phase (the
+// original worker, a reassigned replacement, or a speculative duplicate
+// — whichever won) and the subsets that were permanently lost.
+func runPhase(ctx context.Context, nodes []*node, phase faults.Phase,
+	work func(context.Context, *node) error, spec func(*node) *node,
+	opts Options, ins *gcdInstruments) (finished []*node, failed []NodeFailure) {
+	winners := make([]*node, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			winners[i], errs[i] = superviseOne(ctx, n, phase, work, spec, opts, ins)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, n := range nodes {
+		if errs[i] != nil {
+			failed = append(failed, NodeFailure{Node: n.id, Phase: phase, Err: errs[i]})
+			continue
+		}
+		finished = append(finished, winners[i])
+	}
+	return finished, failed
+}
+
+// superviseOne shepherds a single subset through one phase. A node that
+// dies (faults.ErrNodeCrash — an injected or detected machine loss) has
+// its subset reassigned to a fresh worker, up to opts.MaxReassign
+// times; any other error, or exhausting reassignment, loses the subset.
+func superviseOne(ctx context.Context, n *node, phase faults.Phase,
+	work func(context.Context, *node) error, spec func(*node) *node,
+	opts Options, ins *gcdInstruments) (*node, error) {
+	attempt := n
+	for tries := 0; ; tries++ {
+		winner, err := raceStraggler(ctx, attempt, work, spec, opts, ins)
+		if err == nil {
+			return winner, nil
+		}
+		if !errors.Is(err, faults.ErrNodeCrash) {
+			return nil, err
+		}
+		ins.failures.Inc()
+		if tries >= opts.MaxReassign || ctx.Err() != nil {
+			return nil, err
+		}
+		ins.reassign.Inc()
+		ins.reassignN.Add(1)
+		attempt = attempt.replacement()
+	}
+}
+
+// raceStraggler runs work on n and, when speculation is enabled and the
+// worker outlives the straggler window, races a duplicate on the same
+// subset — the first finisher wins and the loser is cancelled (the
+// MapReduce "backup task" defence against slow machines). With
+// speculation disabled it simply waits for the worker.
+func raceStraggler(ctx context.Context, n *node,
+	work func(context.Context, *node) error, spec func(*node) *node,
+	opts Options, ins *gcdInstruments) (*node, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reclaims the losing worker at its next level check
+
+	type outcome struct {
+		n   *node
+		err error
+	}
+	ch := make(chan outcome, 2)
+	go func() { ch <- outcome{n, work(ctx, n)} }()
+
+	if opts.StragglerTimeout <= 0 || spec == nil {
+		o := <-ch
+		return o.n, o.err
+	}
+	t := time.NewTimer(opts.StragglerTimeout)
+	defer t.Stop()
+	var first outcome
+	select {
+	case first = <-ch:
+		return first.n, first.err
+	case <-t.C:
+	}
+	ins.stragglers.Inc()
+	dup := spec(n)
+	go func() { ch <- outcome{dup, work(ctx, dup)} }()
+	first = <-ch
+	if first.err == nil {
+		return first.n, nil
+	}
+	// The first finisher failed (e.g. the straggler was also armed to
+	// crash); the other worker may still deliver.
+	second := <-ch
+	if second.err == nil {
+		return second.n, nil
+	}
+	return nil, first.err
+}

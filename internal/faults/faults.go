@@ -1,0 +1,361 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// reproduction: seeded chaos for the two layers the paper's measurement
+// machinery must survive.
+//
+// Internet scans live in a hostile network — refused connections,
+// mid-handshake resets, stalled hosts, truncated or garbled responses,
+// devices that fall over after a few probes ("Ten Years of ZMap"
+// documents retry/loss handling as core to scan correctness). And the
+// paper's 22-node batch-GCD cluster (Section 3.2, Figure 2) must survive
+// job failures and stragglers over its 86-minute runs. This package
+// provides the injection side of both stories:
+//
+//   - Plan schedules connection-level faults for a devices.Server, drawn
+//     deterministically from a seed, so a real-socket chaos test replays
+//     byte-for-byte given the same seed and arrival order.
+//   - NodePlan schedules one-shot node crashes and stragglers by
+//     (node id, phase) for a distgcd run, driving the supervisor's
+//     reassignment path.
+//
+// Both plan types are nil-safe: every method on a nil plan reports "no
+// fault", so production call sites inject unconditionally and pay one
+// predicted branch when chaos is off — the same idiom as
+// internal/telemetry's nil handles.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action enumerates the connection-level faults a Plan can inject,
+// mirroring what internet scanners actually see.
+type Action int
+
+const (
+	// Pass injects nothing; the connection is served normally.
+	Pass Action = iota
+	// Refuse aborts the connection before reading anything — the
+	// firewalled/filtered host whose port answers and immediately slams.
+	Refuse
+	// Reset reads the client hello and then resets the connection
+	// (RST, not FIN) — the mid-handshake abort.
+	Reset
+	// Stall reads the client hello and then never answers, holding the
+	// connection open until the client's deadline gives up — the tarpit.
+	Stall
+	// Truncate sends a well-formed SERVERHELLO header but cuts the
+	// certificate payload short before hanging up.
+	Truncate
+	// Garble sends a corrupted SERVERHELLO line — the protocol violation
+	// a scanner must classify as permanent and never retry.
+	Garble
+
+	numActions
+)
+
+var actionNames = [numActions]string{"pass", "refuse", "reset", "stall", "truncate", "garble"}
+
+func (a Action) String() string {
+	if a < 0 || a >= numActions {
+		return fmt.Sprintf("faults.Action(%d)", int(a))
+	}
+	return actionNames[a]
+}
+
+// Weights sets the per-connection probability of each fault. Each field
+// is in [0,1]; negative values count as 0. If the sum exceeds 1 the
+// weights are scaled down proportionally; any remainder is Pass.
+type Weights struct {
+	Refuse, Reset, Stall, Truncate, Garble float64
+}
+
+func (w Weights) normalized() Weights {
+	clamp := func(v float64) float64 {
+		if v < 0 || v != v { // negative or NaN
+			return 0
+		}
+		return v
+	}
+	w.Refuse, w.Reset, w.Stall = clamp(w.Refuse), clamp(w.Reset), clamp(w.Stall)
+	w.Truncate, w.Garble = clamp(w.Truncate), clamp(w.Garble)
+	if sum := w.Refuse + w.Reset + w.Stall + w.Truncate + w.Garble; sum > 1 {
+		w.Refuse /= sum
+		w.Reset /= sum
+		w.Stall /= sum
+		w.Truncate /= sum
+		w.Garble /= sum
+	}
+	return w
+}
+
+// Decision is the plan's verdict for one accepted connection.
+type Decision struct {
+	Action Action
+	// Crash marks this connection as the device's last: the server
+	// aborts it and stops listening (the crash-after-N-connections
+	// firmware failure).
+	Crash bool
+}
+
+// Plan is a deterministic, seeded per-connection fault schedule. The
+// decision sequence is a pure function of the seed (and, in every-N
+// mode, of the arrival index), so a chaos run replays exactly under the
+// same seed and connection order. Next is safe for concurrent use; when
+// several servers share one Plan they draw from one global sequence.
+type Plan struct {
+	mu      sync.Mutex
+	rng     *rand.Rand // nil in every-N mode
+	weights Weights
+	everyN  int
+	everyAct Action
+	crashAt int64 // crash on this 1-based connection; 0 = never
+	conns   int64
+	counts  [numActions]int64
+}
+
+// NewPlan returns a Plan drawing faults at the given per-connection
+// probabilities from a seeded generator.
+func NewPlan(seed int64, w Weights) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed)), weights: w.normalized()}
+}
+
+// NewEveryN returns a Plan that injects action on connections 1, n+1,
+// 2n+1, ... (a 1/n deterministic fault rate). Unlike the probabilistic
+// plan, a retried connection immediately after a faulted one always
+// passes (for n >= 2), so recovery is guaranteed by construction —
+// the shape end-to-end chaos tests want. n < 1 is treated as 1 (every
+// connection faulted).
+func NewEveryN(n int, action Action) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	return &Plan{everyN: n, everyAct: action}
+}
+
+// CrashAfter arranges for the device to crash on its n-th accepted
+// connection (1-based): that connection is aborted and the listener
+// closes. n <= 0 disables. Returns p for chaining.
+func (p *Plan) CrashAfter(n int) *Plan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashAt = int64(n)
+	return p
+}
+
+// Next draws the decision for the next accepted connection. A nil plan
+// always passes.
+func (p *Plan) Next() Decision {
+	if p == nil {
+		return Decision{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns++
+	if p.crashAt > 0 && p.conns >= p.crashAt {
+		return Decision{Crash: true}
+	}
+	var a Action
+	if p.everyN > 0 {
+		if (p.conns-1)%int64(p.everyN) == 0 {
+			a = p.everyAct
+		}
+	} else {
+		u := p.rng.Float64()
+		w := p.weights
+		switch {
+		case u < w.Refuse:
+			a = Refuse
+		case u < w.Refuse+w.Reset:
+			a = Reset
+		case u < w.Refuse+w.Reset+w.Stall:
+			a = Stall
+		case u < w.Refuse+w.Reset+w.Stall+w.Truncate:
+			a = Truncate
+		case u < w.Refuse+w.Reset+w.Stall+w.Truncate+w.Garble:
+			a = Garble
+		}
+	}
+	p.counts[a]++
+	return Decision{Action: a}
+}
+
+// Connections returns how many decisions the plan has issued.
+func (p *Plan) Connections() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conns
+}
+
+// Injected returns the per-action tally of decisions issued so far
+// (Pass included).
+func (p *Plan) Injected() map[Action]int64 {
+	m := make(map[Action]int64)
+	if p == nil {
+		return m
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for a, n := range p.counts {
+		if n > 0 {
+			m[Action(a)] = n
+		}
+	}
+	return m
+}
+
+// Phase identifies a distributed-GCD phase for node-level injection.
+type Phase string
+
+const (
+	// PhaseBuild is the subset product-tree construction phase.
+	PhaseBuild Phase = "build"
+	// PhaseReduce is the all-products remainder/GCD phase.
+	PhaseReduce Phase = "reduce"
+)
+
+// ErrNodeCrash marks an injected cluster-node death; the distgcd
+// supervisor detects it (like any other node error) and reassigns the
+// dead node's subset to a survivor.
+var ErrNodeCrash = errors.New("faults: injected node crash")
+
+type nodePhase struct {
+	node  int
+	phase Phase
+}
+
+// NodePlan schedules node failures and stragglers for a distributed
+// batch-GCD run. Every injection is one-shot: once a crash or straggle
+// has fired for a (node, phase) it is consumed, so the reassigned or
+// speculative re-execution of that subset survives — which is exactly
+// the cluster-rescheduling behaviour being tested. A nil NodePlan
+// injects nothing.
+type NodePlan struct {
+	mu       sync.Mutex
+	crash    map[nodePhase]bool
+	straggle map[nodePhase]time.Duration
+}
+
+// NewNodePlan returns an empty NodePlan.
+func NewNodePlan() *NodePlan {
+	return &NodePlan{
+		crash:    make(map[nodePhase]bool),
+		straggle: make(map[nodePhase]time.Duration),
+	}
+}
+
+// Crash schedules node to die at the start of phase. Returns p for
+// chaining.
+func (p *NodePlan) Crash(node int, phase Phase) *NodePlan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crash[nodePhase{node, phase}] = true
+	return p
+}
+
+// Straggle schedules node to stall for d at the start of phase — long
+// enough, relative to the supervisor's straggler timeout, to trigger
+// speculative re-execution. Returns p for chaining.
+func (p *NodePlan) Straggle(node int, phase Phase, d time.Duration) *NodePlan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.straggle[nodePhase{node, phase}] = d
+	return p
+}
+
+// CrashFires reports whether a crash is scheduled for (node, phase) and
+// consumes it.
+func (p *NodePlan) CrashFires(node int, phase Phase) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := nodePhase{node, phase}
+	if p.crash[key] {
+		delete(p.crash, key)
+		return true
+	}
+	return false
+}
+
+// StraggleFor returns the stall scheduled for (node, phase), consuming
+// it; zero means none.
+func (p *NodePlan) StraggleFor(node int, phase Phase) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := nodePhase{node, phase}
+	d := p.straggle[key]
+	if d > 0 {
+		delete(p.straggle, key)
+	}
+	return d
+}
+
+func parsePhase(s string) (Phase, error) {
+	switch Phase(s) {
+	case PhaseBuild, PhaseReduce:
+		return Phase(s), nil
+	}
+	return "", fmt.Errorf("faults: unknown phase %q (want %q or %q)", s, PhaseBuild, PhaseReduce)
+}
+
+// ParseCrashSpec parses a CLI crash spec of the form "phase:node",
+// e.g. "reduce:1".
+func ParseCrashSpec(s string) (Phase, int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("faults: crash spec %q, want phase:node", s)
+	}
+	ph, err := parsePhase(parts[0])
+	if err != nil {
+		return "", 0, err
+	}
+	node, err := strconv.Atoi(parts[1])
+	if err != nil || node < 0 {
+		return "", 0, fmt.Errorf("faults: crash spec %q: bad node id", s)
+	}
+	return ph, node, nil
+}
+
+// ParseStraggleSpec parses a CLI straggle spec of the form
+// "phase:node:duration", e.g. "build:2:200ms".
+func ParseStraggleSpec(s string) (Phase, int, time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("faults: straggle spec %q, want phase:node:duration", s)
+	}
+	ph, err := parsePhase(parts[0])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	node, err := strconv.Atoi(parts[1])
+	if err != nil || node < 0 {
+		return "", 0, 0, fmt.Errorf("faults: straggle spec %q: bad node id", s)
+	}
+	d, err := time.ParseDuration(parts[2])
+	if err != nil || d <= 0 {
+		return "", 0, 0, fmt.Errorf("faults: straggle spec %q: bad duration", s)
+	}
+	return ph, node, d, nil
+}

@@ -1,0 +1,123 @@
+package scanner
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Error causes, as recorded in scanner_retries_total{cause=...}. The
+// classification drives the retry policy: network-weather failures
+// (refused, reset, timeout) are transient and worth retrying; protocol
+// violations and certificate parse failures are properties of the
+// endpoint and retrying them only burns budget — the distinction ZMap-
+// style scan loops are built around.
+const (
+	CauseRefused   = "refused"
+	CauseReset     = "reset"
+	CauseTimeout   = "timeout"
+	CauseCanceled  = "canceled"
+	CausePermanent = "permanent"
+)
+
+// Cause buckets an error for metrics and for the retry policy.
+func Cause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The scan is being shut down, not the target misbehaving:
+		// never spend retries on it.
+		return CauseCanceled
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return CauseTimeout
+	}
+	switch {
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return CauseRefused
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		// The peer hung up mid-handshake (an abrupt close or RST lands
+		// as EOF/unexpected-EOF through the buffered reader).
+		return CauseReset
+	}
+	return CausePermanent
+}
+
+// Transient reports whether err is worth retrying: connection refused,
+// connection reset / mid-handshake hangup, or a timeout. Protocol
+// violations, certificate parse errors and cancellation are permanent.
+func Transient(err error) bool {
+	switch Cause(err) {
+	case CauseRefused, CauseReset, CauseTimeout:
+		return true
+	}
+	return false
+}
+
+// retryBudget is the scan-global cap on retries. A dying network must
+// not multiply scan traffic — exactly the abuse-throttling concern that
+// gets internet scanners blocklisted.
+type retryBudget struct {
+	n atomic.Int64
+}
+
+func newRetryBudget(n int64) *retryBudget {
+	b := &retryBudget{}
+	b.n.Store(n)
+	return b
+}
+
+// take consumes one retry if any remain.
+func (b *retryBudget) take() bool {
+	for {
+		v := b.n.Load()
+		if v <= 0 {
+			return false
+		}
+		if b.n.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// lockedRand is a mutex-guarded seeded source for backoff jitter, so
+// same-seed scans draw the same jitter sequence.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+// jitter spreads d over [0.5d, 1.5d) so synchronized failures don't
+// retry in lockstep (the thundering-herd guard).
+func (l *lockedRand) jitter(d time.Duration) time.Duration {
+	l.mu.Lock()
+	f := 0.5 + l.r.Float64()
+	l.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// sleepCtx waits d or until the context is done; it reports whether the
+// full wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

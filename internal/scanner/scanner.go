@@ -3,12 +3,18 @@
 // management interfaces, performs the certificate-fetch handshake, and
 // records host observations. The paper's sources used Nmap+Python (EFF,
 // P&Q) and ZMap+custom fetchers (Ecosystem, Rapid7, Censys); the worker-
-// pool architecture here mirrors the latter.
+// pool architecture here mirrors the latter, including the retry/loss
+// handling internet scans live on: transient failures (refused, reset,
+// timeout) are retried with exponential backoff and jitter under a
+// global retry budget, while permanent failures (protocol violations,
+// unparseable certificates) are classified and never retried.
 package scanner
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -40,12 +46,32 @@ type Options struct {
 	// number of finished targets and the total. Calls are serialized but
 	// may come from any worker goroutine.
 	Progress func(done, total int)
+	// MaxAttempts caps connection attempts per target. Transient
+	// failures (connection refused, reset / mid-handshake hangup,
+	// timeout) are retried with exponential backoff and jitter up to
+	// this many total attempts; permanent failures (protocol violations,
+	// certificate parse errors) are never retried. Default 3; 1 disables
+	// retries.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt, spread over [0.5x, 1.5x) by seeded jitter. Default 25ms.
+	RetryBackoff time.Duration
+	// RetryBudget caps total retries across the whole scan — the
+	// abuse-throttling guard: a dying network must not multiply scan
+	// traffic. 0 selects the default of 2 retries per target; negative
+	// means unlimited.
+	RetryBudget int
+	// RetrySeed seeds the backoff jitter so chaos runs replay exactly
+	// (default 1).
+	RetrySeed int64
 	// Metrics, when set, receives live scan telemetry: the
 	// scanner_dial_seconds and scanner_handshake_seconds latency
-	// histograms, scanner_targets_total / scanner_certs_total counters,
-	// and per-cause scanner_errors_total{cause="dial"|"handshake"|
-	// "heartbeat"} counters — the continuous rate/error telemetry a
-	// ZMap-style scan loop is operated by.
+	// histograms, scanner_targets_total / scanner_certs_total /
+	// scanner_attempts_total counters, per-cause scanner_errors_total
+	// {cause="dial"|"handshake"|"heartbeat"} counters, and the retry
+	// ledger (scanner_retries_total{cause=...},
+	// scanner_retry_budget_exhausted_total) — the continuous rate/error
+	// telemetry a ZMap-style scan loop is operated by.
 	Metrics *telemetry.Registry
 }
 
@@ -53,39 +79,69 @@ type Options struct {
 // front, so workers touch only atomics on the per-target hot path. All
 // handles are the nil no-op kind when Options.Metrics is unset.
 type instruments struct {
+	reg       *telemetry.Registry // kept for the cold retry path only
 	dial      *telemetry.Histogram
 	handshake *telemetry.Histogram
 	targets   *telemetry.Counter
+	attempts  *telemetry.Counter
 	certs     *telemetry.Counter
 	dialErrs  *telemetry.Counter
 	hsErrs    *telemetry.Counter
 	hbErrs    *telemetry.Counter
+	budgetOut *telemetry.Counter
 	inFlight  *telemetry.Gauge
 }
 
 func (o Options) instruments() instruments {
 	reg := o.Metrics
 	return instruments{
+		reg:       reg,
 		dial:      reg.Histogram("scanner_dial_seconds", telemetry.DurationBuckets),
 		handshake: reg.Histogram("scanner_handshake_seconds", telemetry.DurationBuckets),
 		targets:   reg.Counter("scanner_targets_total"),
+		attempts:  reg.Counter("scanner_attempts_total"),
 		certs:     reg.Counter("scanner_certs_total"),
 		dialErrs:  reg.Counter(`scanner_errors_total{cause="dial"}`),
 		hsErrs:    reg.Counter(`scanner_errors_total{cause="handshake"}`),
 		hbErrs:    reg.Counter(`scanner_errors_total{cause="heartbeat"}`),
+		budgetOut: reg.Counter("scanner_retry_budget_exhausted_total"),
 		inFlight:  reg.Gauge("scanner_inflight_connections"),
 	}
 }
 
+// retried records one retry, labelled by the cause of the failed
+// attempt. Retries are rare, so the registry lookup off the hot path is
+// fine (and a nil registry hands back a no-op counter).
+func (ins instruments) retried(cause string) {
+	ins.reg.Counter(`scanner_retries_total{cause="` + cause + `"}`).Inc()
+}
+
+// maxRate caps RatePerSecond so the pacing interval stays >= 1ns:
+// time.NewTicker(0) panics, and any rate above 1e9/s is already
+// "unpaced" at wall-clock resolution.
+const maxRate = 1e9
+
 func (o Options) withDefaults() (Options, error) {
-	if o.RatePerSecond < 0 {
+	if o.RatePerSecond < 0 || o.RatePerSecond != o.RatePerSecond {
 		return o, fmt.Errorf("scanner: RatePerSecond must be >= 0, got %g", o.RatePerSecond)
+	}
+	if o.RatePerSecond > maxRate {
+		o.RatePerSecond = maxRate
 	}
 	if o.Workers <= 0 {
 		o.Workers = 16
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
 	}
 	return o, nil
 }
@@ -99,7 +155,13 @@ type Result struct {
 	// HeartbeatOK reports whether the heartbeat probe (if requested)
 	// got a correct response.
 	HeartbeatOK bool
-	Err         error
+	// Attempts is the number of connection attempts made for this
+	// target (1 when the first attempt settled it).
+	Attempts int
+	// Transient reports whether the final error was classified
+	// transient — i.e. the target is worth retrying in a later pass.
+	Transient bool
+	Err       error
 }
 
 // Scan fetches certificates from every target concurrently. Results are
@@ -126,12 +188,21 @@ func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error)
 		progressMu.Unlock()
 	}
 	ins := o.instruments()
+	budgetSize := int64(o.RetryBudget)
+	switch {
+	case budgetSize == 0:
+		budgetSize = 2 * int64(len(targets))
+	case budgetSize < 0:
+		budgetSize = math.MaxInt64
+	}
+	budget := newRetryBudget(budgetSize)
+	jitter := newLockedRand(o.RetrySeed)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = scanOne(ctx, targets[i], o, ins)
+				results[i] = scanOne(ctx, targets[i], o, ins, budget, jitter)
 				finish()
 			}
 		}()
@@ -168,8 +239,39 @@ dispatch:
 	return results, nil
 }
 
-func scanOne(ctx context.Context, addr string, o Options, ins instruments) Result {
+// scanOne drives one target to a final Result: an attempt, then — for
+// transient failures only — exponential backoff with jitter and another
+// attempt, bounded per target by MaxAttempts and globally by the retry
+// budget.
+func scanOne(ctx context.Context, addr string, o Options, ins instruments, budget *retryBudget, jitter *lockedRand) Result {
 	ins.targets.Inc()
+	backoff := o.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		res := scanAttempt(ctx, addr, o, ins)
+		res.Attempts = attempt
+		ins.attempts.Inc()
+		if res.Err == nil {
+			return res
+		}
+		res.Transient = Transient(res.Err)
+		if !res.Transient || attempt >= o.MaxAttempts || ctx.Err() != nil {
+			return res
+		}
+		if !budget.take() {
+			ins.budgetOut.Inc()
+			return res
+		}
+		ins.retried(Cause(res.Err))
+		if !sleepCtx(ctx, jitter.jitter(backoff)) {
+			return res
+		}
+		backoff *= 2
+	}
+}
+
+// scanAttempt performs a single dial + handshake (+ optional heartbeat
+// probe) against one target.
+func scanAttempt(ctx context.Context, addr string, o Options, ins instruments) Result {
 	ins.inFlight.Add(1)
 	defer ins.inFlight.Add(-1)
 	res := Result{Addr: addr}
@@ -183,7 +285,10 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments) Resul
 		return res
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(o.Timeout))
+	if err := conn.SetDeadline(time.Now().Add(o.Timeout)); err != nil {
+		res.Err = err
+		return res
+	}
 	hs0 := time.Now()
 	cert, suites, err := devices.FetchCertSuites(conn)
 	ins.handshake.ObserveDuration(time.Since(hs0))
@@ -196,6 +301,14 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments) Resul
 	res.Cert = cert
 	res.Suites = suites
 	if o.ProbeHeartbeat {
+		// Refresh the deadline: a slow handshake must not leave the
+		// heartbeat probe with an already-stale deadline that fails
+		// every probe spuriously.
+		if err := conn.SetDeadline(time.Now().Add(o.Timeout)); err != nil {
+			res.HeartbeatOK = false
+			ins.hbErrs.Inc()
+			return res
+		}
 		res.HeartbeatOK = devices.ProbeHeartbeat(conn, []byte("scan-probe")) == nil
 		if !res.HeartbeatOK {
 			ins.hbErrs.Inc()
@@ -204,17 +317,47 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments) Resul
 	return res
 }
 
-// Harvest scans targets and stores every successful observation under the
-// given scan date and source. It returns the per-target results alongside
-// the number of stored observations.
-func Harvest(ctx context.Context, store *scanstore.Store, date time.Time, src scanstore.Source, targets []string, opts Options) ([]Result, int, error) {
+// HarvestSummary is Harvest's resilience accounting.
+type HarvestSummary struct {
+	// Stored is the number of observations persisted.
+	Stored int
+	// Retryable lists targets whose final failure was transient — the
+	// resume list: feed it into a later Harvest pass to finish the scan
+	// month instead of re-scanning everything.
+	Retryable []string
+	// StoreErrors counts per-observation store failures that were
+	// skipped over (details are joined into the returned error).
+	StoreErrors int
+}
+
+// Harvest scans targets and stores every successful observation under
+// the given scan date and source. It returns the per-target results and
+// a summary. Individual store failures do not abort the harvest: the
+// remaining observations still land, the failures are counted in the
+// summary and joined into the returned error — one bad record must not
+// discard the rest of a month's harvest.
+func Harvest(ctx context.Context, store *scanstore.Store, date time.Time, src scanstore.Source, targets []string, opts Options) ([]Result, HarvestSummary, error) {
 	results, err := Scan(ctx, targets, opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, HarvestSummary{}, err
 	}
-	stored := 0
+	sum, err := storeResults(store, date, src, results)
+	return results, sum, err
+}
+
+// storeResults persists the successful results and accumulates the
+// summary; per-observation store errors are aggregated, not fatal.
+func storeResults(store *scanstore.Store, date time.Time, src scanstore.Source, results []Result) (HarvestSummary, error) {
+	var sum HarvestSummary
+	var storeErrs []error
 	for _, r := range results {
-		if r.Err != nil || r.Cert == nil {
+		if r.Err != nil {
+			if r.Transient {
+				sum.Retryable = append(sum.Retryable, r.Addr)
+			}
+			continue
+		}
+		if r.Cert == nil {
 			continue
 		}
 		host, _, err := net.SplitHostPort(r.Addr)
@@ -226,9 +369,11 @@ func Harvest(ctx context.Context, store *scanstore.Store, date time.Time, src sc
 			Cert: r.Cert, RSAOnly: devices.RSAOnly(r.Suites),
 		})
 		if err != nil {
-			return results, stored, err
+			sum.StoreErrors++
+			storeErrs = append(storeErrs, fmt.Errorf("scanner: store %s: %w", r.Addr, err))
+			continue
 		}
-		stored++
+		sum.Stored++
 	}
-	return results, stored, nil
+	return sum, errors.Join(storeErrs...)
 }

@@ -136,12 +136,15 @@ func TestHarvestIntoStore(t *testing.T) {
 	addrs := fleet(t, 6, false)
 	store := scanstore.New()
 	date := time.Date(2016, 4, 11, 0, 0, 0, 0, time.UTC)
-	_, stored, err := Harvest(context.Background(), store, date, scanstore.SourceCensys, addrs, Options{Workers: 3})
+	_, sum, err := Harvest(context.Background(), store, date, scanstore.SourceCensys, addrs, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stored != 6 {
-		t.Errorf("stored = %d, want 6", stored)
+	if sum.Stored != 6 {
+		t.Errorf("stored = %d, want 6", sum.Stored)
+	}
+	if len(sum.Retryable) != 0 || sum.StoreErrors != 0 {
+		t.Errorf("clean harvest summary: %+v", sum)
 	}
 	st := store.Stats(scanstore.HTTPS)
 	if st.HostRecords != 6 || st.DistinctCerts != 6 {
