@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke bench-telemetry
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke bench-telemetry bench-keyserver
 
 # ci is the full gate: compile everything, vet, run the test suite under
 # the race detector (which includes every fault-injection test), smoke-
-# test the live telemetry path and the seeded-chaos recovery path end to
-# end, and guard the instrumentation hot-path cost.
-ci: build vet race smoke chaos-smoke bench-telemetry
+# test the live telemetry path, the seeded-chaos recovery path and the
+# online key-check service end to end, and guard the instrumentation
+# hot-path cost.
+ci: build vet race smoke chaos-smoke keyserver-smoke bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,17 @@ smoke:
 # identical to the fault-free run (counters checked via /metrics).
 chaos-smoke:
 	sh ./scripts/chaos-smoke.sh
+
+# keyserver-smoke starts keyserverd on a small simulated study and
+# checks one known-weak and one known-clean corpus key end to end over
+# HTTP, plus a malformed submission (400) and the /metrics scrape.
+keyserver-smoke:
+	sh ./scripts/keyserver-smoke.sh
+
+# bench-keyserver drives keyload against a local keyserverd and writes
+# BENCH_keyserver.json (p50/p99 latency, checks/sec; floor 1000/sec).
+bench-keyserver:
+	sh ./scripts/bench-keyserver.sh
 
 # bench-telemetry guards the instrumentation hot path: counter Add and
 # histogram Observe must stay in the low nanoseconds (fixed iteration

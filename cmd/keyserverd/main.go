@@ -1,0 +1,188 @@
+// Command keyserverd serves the online weak-key check service: the
+// reproduction of factorable.net's "check my key" endpoint over a
+// completed study corpus.
+//
+// The daemon either analyzes a saved scan corpus or simulates one,
+// builds the sharded keycheck index from the study's factored set, and
+// serves:
+//
+//	POST /v1/check      JSON {"modulus_hex": "..."} (or cert_pem /
+//	                    cert_der, or a raw PEM body) → verdict
+//	GET  /v1/stats      index, cache and limiter statistics
+//	GET  /v1/exemplars  known factored/clean corpus keys for smoke tests
+//	/metrics            Prometheus exposition  /debug/vars  JSON vars
+//
+// Examples:
+//
+//	keyserverd -scale 0.05 -bits 128 -listen 127.0.0.1:8446
+//	keyserverd -load corpus.gob -rate 100 -burst 200
+//	kill -HUP <pid>   # re-analyze and atomically swap in a new snapshot
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-
+// flight checks finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/core"
+	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8446", "serve the check API on this address; :0 picks a port")
+		loadFrom  = flag.String("load", "", "analyze a saved scan corpus (scanstore snapshot) instead of simulating")
+		seed      = flag.Int64("seed", 2016, "simulation seed (ignored with -load)")
+		scale     = flag.Float64("scale", 0.05, "population scale multiplier (ignored with -load)")
+		bits      = flag.Int("bits", 128, "RSA modulus size for simulated keys")
+		subsets   = flag.Int("subsets", 3, "batch GCD subsets k for the study run")
+		shards    = flag.Int("shards", keycheck.DefaultShards, "index shard count")
+		workers   = flag.Int("workers", 0, "bounded check-worker pool size (0 = GOMAXPROCS)")
+		queueWait = flag.Duration("queue-wait", 50*time.Millisecond, "how long a check waits for a worker before shedding")
+		cacheSize = flag.Int("cache", 4096, "LRU verdict-cache entries (negative disables)")
+		rate      = flag.Float64("rate", 50, "per-client rate limit in checks/sec (0 disables)")
+		burst     = flag.Int("burst", 100, "per-client rate-limit burst")
+		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+		saveTo    = flag.String("save", "", "save the simulated corpus to a file (for keyload -corpus)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "keyserverd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := telemetry.New()
+
+	// buildSnapshot runs (or re-runs, on SIGHUP) the analysis and
+	// assembles the serving index from the study's factored set.
+	buildSnapshot := func() (*keycheck.Snapshot, error) {
+		var study *core.Study
+		var err error
+		opts := core.Options{KeyBits: *bits, Subsets: *subsets, Telemetry: reg}
+		if *loadFrom != "" {
+			logf("analyzing corpus from %s...", *loadFrom)
+			f, ferr := os.Open(*loadFrom)
+			if ferr != nil {
+				return nil, ferr
+			}
+			store, lerr := scanstore.Load(f)
+			f.Close()
+			if lerr != nil {
+				return nil, lerr
+			}
+			study, err = core.AnalyzeStore(ctx, store, opts)
+		} else {
+			logf("simulating study corpus (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
+			opts.Seed, opts.Scale = *seed, *scale
+			study, err = core.Run(ctx, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if *saveTo != "" {
+			f, ferr := os.Create(*saveTo)
+			if ferr != nil {
+				return nil, ferr
+			}
+			if err := study.Store.Save(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			logf("saved scan corpus to %s", *saveTo)
+		}
+		return keycheck.Build(ctx, keycheck.BuildInput{
+			Store:       study.Store,
+			Fingerprint: study.Fingerprint,
+			Shards:      *shards,
+		})
+	}
+
+	start := time.Now()
+	snap, err := buildSnapshot()
+	if err != nil {
+		fatal(err)
+	}
+	logf("index built in %v: %d moduli (%d factored) across %d shards",
+		time.Since(start).Round(time.Millisecond), snap.Moduli(), snap.Factored(), *shards)
+
+	svc := keycheck.NewService(snap, keycheck.Config{
+		Workers:   *workers,
+		QueueWait: *queueWait,
+		CacheSize: *cacheSize,
+		Metrics:   reg,
+	})
+	limiter := keycheck.NewRateLimiter(*rate, *burst)
+	api := keycheck.NewAPI(svc, limiter, reg)
+
+	// One mux serves the check API and the diagnostics endpoints, so a
+	// single scrape target covers verdict counters, latency histograms
+	// and shard gauges.
+	mux := api.Mux()
+	diag := telemetry.NewMux(reg)
+	mux.Handle("/metrics", diag)
+	mux.Handle("/debug/", diag)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+	logf("keycheck API on http://%s/v1/check (stats /v1/stats, metrics /metrics)", ln.Addr())
+
+	// SIGHUP re-analyzes and swaps the snapshot atomically; readers are
+	// never blocked and the verdict cache is invalidated.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			logf("SIGHUP: rebuilding index...")
+			next, err := buildSnapshot()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "keyserverd: reload failed, keeping current snapshot:", err)
+				continue
+			}
+			svc.Publish(next)
+			logf("snapshot swapped: %d moduli (%d factored)", next.Moduli(), next.Factored())
+		}
+	}()
+
+	<-ctx.Done()
+	logf("shutting down: draining in-flight checks...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "keyserverd: shutdown:", err)
+	}
+	svc.Drain()
+	logf("drained; bye")
+}

@@ -50,6 +50,7 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the per-device fault plans and retry jitter")
 		chaosEvery = flag.Int("chaos-every", 0, "reset every nth connection per device (deterministic; n>=2 guarantees retry recovery)")
 		retries    = flag.Int("retries", 0, "scanner attempts per target (0 = default)")
+		keySeed    = flag.Int64("key-seed", 0, "seed for device key generation (0 = time-based; set for reproducible fleets)")
 	)
 	flag.Parse()
 	if *chaosRate < 0 || *chaosRate > 1 {
@@ -69,7 +70,14 @@ func main() {
 		fatal(fmt.Errorf("vulnerable count exceeds fleet size"))
 	}
 
-	factory := population.NewKeyFactory(time.Now().UnixNano(), *bits)
+	// Time-seeded by default so repeated demo runs differ; chaos-smoke
+	// pins -key-seed because a fully colliding entropy-hole draw (both
+	// primes shared) dedups two vulnerable moduli into one.
+	seed := *keySeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	factory := population.NewKeyFactory(seed, *bits)
 	var targets []string
 	var servers []*devices.Server
 	for i := 0; i < *nDevices; i++ {

@@ -1,0 +1,75 @@
+package keycheck
+
+import "hash/fnv"
+
+// bloomFilter is a fixed-size Bloom filter over modulus keys. It fronts
+// each shard's exact tables: a negative answer proves the modulus was
+// never observed by any scan (and routes the check straight to the GCD
+// path); a positive answer is confirmed against the exact maps. Filters
+// are built once per snapshot and never mutated, so reads need no
+// locking.
+type bloomFilter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // hash functions
+	items int
+}
+
+// bloomBitsPerItem gives ~1% false positives with k = 7 — ample, since a
+// false positive only costs one redundant GCD probe, never a wrong
+// verdict.
+const (
+	bloomBitsPerItem = 10
+	bloomHashes      = 7
+)
+
+// newBloom sizes a filter for n items. n == 0 yields a nil filter, whose
+// mayContain is always false.
+func newBloom(n int) *bloomFilter {
+	if n <= 0 {
+		return nil
+	}
+	m := uint64(n * bloomBitsPerItem)
+	if m < 64 {
+		m = 64
+	}
+	return &bloomFilter{bits: make([]uint64, (m+63)/64), m: m, k: bloomHashes}
+}
+
+// hashPair derives the two FNV hashes that seed double hashing
+// (Kirsch-Mitzenmacher: index_i = h1 + i*h2 suffices for k functions).
+func hashPair(key string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(key))
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write([]byte(key))
+	b := h2.Sum64() | 1 // odd, so it cycles all of m for power-of-two m
+	return a, b
+}
+
+func (f *bloomFilter) add(key string) {
+	if f == nil {
+		return
+	}
+	a, b := hashPair(key)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.items++
+}
+
+func (f *bloomFilter) mayContain(key string) bool {
+	if f == nil {
+		return false
+	}
+	a, b := hashPair(key)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package keycheck
+
+import (
+	"container/list"
+	"sync"
+)
+
+// verdictCache is a fixed-capacity LRU over modulus-key → Verdict. The
+// serving workload is heavy-tailed — the same embedded device keys are
+// checked over and over — so a small cache absorbs most of the GCD
+// path. Entries are invalidated wholesale on snapshot swap (the verdict
+// may change when new results fold in).
+type verdictCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	v   Verdict
+}
+
+// newVerdictCache returns a cache holding up to max verdicts; max <= 0
+// returns nil, and a nil cache never hits.
+func newVerdictCache(max int) *verdictCache {
+	if max <= 0 {
+		return nil
+	}
+	return &verdictCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *verdictCache) get(key string) (Verdict, bool) {
+	if c == nil {
+		return Verdict{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return Verdict{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+func (c *verdictCache) put(key string, v Verdict) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, v: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *verdictCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+func (c *verdictCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,203 @@
+package keycheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// maxBodyBytes bounds a /v1/check request body (a 16384-bit modulus in
+// hex is 4KB; PEM certificates a little more).
+const maxBodyBytes = 1 << 20
+
+// checkRequest is the JSON envelope for POST /v1/check. Exactly one of
+// the fields must be set. A raw PEM body (starting with "-----BEGIN")
+// is also accepted for curl-friendliness.
+type checkRequest struct {
+	// ModulusHex is the RSA modulus as hex, optional 0x prefix.
+	ModulusHex string `json:"modulus_hex,omitempty"`
+	// CertPEM is a WEAKKEYS CERTIFICATE (or RSA MODULUS) PEM.
+	CertPEM string `json:"cert_pem,omitempty"`
+	// CertDER is a DER certificate (base64-encoded by JSON).
+	CertDER []byte `json:"cert_der,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statsResponse is the GET /v1/stats document.
+type statsResponse struct {
+	Index SnapshotStats `json:"index"`
+	Cache struct {
+		Size   int   `json:"size"`
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+	SnapshotSwaps  int64 `json:"snapshot_swaps"`
+	TrackedClients int   `json:"tracked_clients"`
+}
+
+// exemplarsResponse is the GET /v1/exemplars document: known-answer
+// corpus keys for smoke tests and load generators.
+type exemplarsResponse struct {
+	Factored []string `json:"factored"`
+	Clean    []string `json:"clean"`
+}
+
+// API serves the key-check HTTP endpoints for one Service.
+type API struct {
+	svc     *Service
+	limiter *RateLimiter
+	reg     *telemetry.Registry
+
+	requestSeconds *telemetry.Histogram
+	rateLimited    *telemetry.Counter
+}
+
+// NewAPI wires a Service to HTTP. limiter may be nil (no rate limit);
+// reg may be nil (no HTTP telemetry).
+func NewAPI(svc *Service, limiter *RateLimiter, reg *telemetry.Registry) *API {
+	return &API{
+		svc:            svc,
+		limiter:        limiter,
+		reg:            reg,
+		requestSeconds: reg.Histogram("keycheck_http_request_seconds", telemetry.DurationBuckets),
+		rateLimited:    reg.Counter("keycheck_ratelimited_total"),
+	}
+}
+
+// Mux returns the API routes:
+//
+//	POST /v1/check      check one modulus or certificate
+//	GET  /v1/stats      index, cache and limiter statistics
+//	GET  /v1/exemplars  known factored/clean corpus keys (?n=8)
+func (a *API) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", a.handleCheck)
+	mux.HandleFunc("/v1/stats", a.handleStats)
+	mux.HandleFunc("/v1/exemplars", a.handleExemplars)
+	return mux
+}
+
+func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { a.requestSeconds.ObserveDuration(time.Since(start)) }()
+	if r.Method != http.MethodPost {
+		a.writeError(w, http.StatusMethodNotAllowed, errors.New("keycheck: POST only"))
+		return
+	}
+	if !a.limiter.Allow(clientKey(r)) {
+		a.rateLimited.Inc()
+		w.Header().Set("Retry-After", "1")
+		a.writeError(w, http.StatusTooManyRequests, errors.New("keycheck: rate limit exceeded"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
+		return
+	}
+	n, err := parseSubmission(body)
+	if err != nil {
+		a.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := a.svc.Check(r.Context(), n)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			a.writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			a.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	a.writeJSON(w, http.StatusOK, v)
+}
+
+// parseSubmission accepts the JSON envelope or a raw PEM body.
+func parseSubmission(body []byte) (*big.Int, error) {
+	trimmed := bytes.TrimSpace(body)
+	if bytes.HasPrefix(trimmed, []byte("-----BEGIN")) {
+		return ParseCertPEM(trimmed)
+	}
+	var req checkRequest
+	if err := json.Unmarshal(trimmed, &req); err != nil {
+		return nil, fmt.Errorf("%w: body is neither JSON nor PEM: %v", ErrMalformed, err)
+	}
+	switch {
+	case req.ModulusHex != "":
+		return ParseModulusHex(req.ModulusHex)
+	case req.CertPEM != "":
+		return ParseCertPEM([]byte(req.CertPEM))
+	case len(req.CertDER) > 0:
+		return ParseCertDER(req.CertDER)
+	}
+	return nil, fmt.Errorf("%w: set one of modulus_hex, cert_pem, cert_der", ErrMalformed)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Index = a.svc.Index().Snapshot().Stats()
+	resp.Cache.Size = a.svc.CacheLen()
+	resp.Cache.Hits = a.svc.cacheHits.Value()
+	resp.Cache.Misses = a.svc.cacheMisses.Value()
+	resp.SnapshotSwaps = a.svc.Index().Swaps()
+	resp.TrackedClients = a.limiter.Clients()
+	a.writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleExemplars(w http.ResponseWriter, r *http.Request) {
+	n := 8
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 1024 {
+			a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: n must be 1..1024", ErrMalformed))
+			return
+		}
+		n = v
+	}
+	var resp exemplarsResponse
+	resp.Factored, resp.Clean = a.svc.Index().Snapshot().Exemplars(n)
+	a.writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) writeJSON(w http.ResponseWriter, code int, v any) {
+	a.reg.Counter(fmt.Sprintf(`keycheck_http_requests_total{code="%d"}`, code)).Inc()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) writeError(w http.ResponseWriter, code int, err error) {
+	a.writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// clientKey identifies the caller for rate limiting: the first
+// X-Forwarded-For hop when present (the deployment-behind-a-proxy
+// case), else the connection's source IP.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		return strings.TrimSpace(xff)
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,301 @@
+package keycheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// newTestAPI serves the golden corpus with a single shard so the
+// verdicts' shard field is deterministically 0. Caching is disabled so
+// golden bodies never grow a "cached":true field; rate limiting is off
+// unless the test passes a limiter.
+func newTestAPI(t *testing.T, limiter *RateLimiter, reg *telemetry.Registry) (*API, *Service) {
+	t.Helper()
+	snap := goldenSnapshot(t, 1)
+	svc := NewService(snap, Config{CacheSize: -1, Metrics: reg})
+	return NewAPI(svc, limiter, reg), svc
+}
+
+func postCheck(mux *http.ServeMux, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+	req.RemoteAddr = "192.0.2.1:4242"
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr
+}
+
+// TestGoldenResponses pins the complete JSON bodies of the API's four
+// canonical answers: a factored corpus key, a novel key sharing a prime
+// with the corpus, a clean key, and a malformed submission.
+func TestGoldenResponses(t *testing.T) {
+	api, _ := newTestAPI(t, nil, nil)
+	mux := api.Mux()
+
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantBody string
+	}{
+		{
+			name:     "factored corpus key",
+			body:     fmt.Sprintf(`{"modulus_hex":"%s"}`, modN1.Text(16)),
+			wantCode: http.StatusOK,
+			wantBody: `{"status":"factored","known":true,"modulus_bits":128,"shard":0,` +
+				`"factor_p_hex":"ba5e34293664b321","factor_q_hex":"cb1a897ef032256b",` +
+				`"vendor":"Juniper","attribution":"subject"}`,
+		},
+		{
+			name:     "novel key sharing a factor",
+			body:     fmt.Sprintf(`{"modulus_hex":"%s"}`, modNs.Text(16)),
+			wantCode: http.StatusOK,
+			wantBody: `{"status":"shared_factor","known":false,"modulus_bits":128,"shard":0,` +
+				`"factor_p_hex":"a627d0c250f0d6ab","factor_q_hex":"cddf196d1cc15f59",` +
+				`"divisor_hex":"cddf196d1cc15f59"}`,
+		},
+		{
+			name:     "clean novel key",
+			body:     fmt.Sprintf(`{"modulus_hex":"0x%s"}`, modNc.Text(16)), // 0x prefix accepted
+			wantCode: http.StatusOK,
+			wantBody: `{"status":"clean","known":false,"modulus_bits":128,"shard":0}`,
+		},
+		{
+			name:     "clean corpus key",
+			body:     fmt.Sprintf(`{"modulus_hex":"%s"}`, modN3.Text(16)),
+			wantCode: http.StatusOK,
+			wantBody: `{"status":"clean","known":true,"modulus_bits":128,"shard":0}`,
+		},
+		{
+			name:     "malformed: empty envelope",
+			body:     `{}`,
+			wantCode: http.StatusBadRequest,
+			wantBody: `{"error":"keycheck: malformed submission: set one of modulus_hex, cert_pem, cert_der"}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := postCheck(mux, tc.body)
+			if rr.Code != tc.wantCode {
+				t.Fatalf("HTTP %d, want %d; body %s", rr.Code, tc.wantCode, rr.Body)
+			}
+			if got := rr.Body.String(); got != tc.wantBody+"\n" {
+				t.Errorf("body:\n got %s\nwant %s", got, tc.wantBody)
+			}
+			if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("Content-Type %q", ct)
+			}
+		})
+	}
+}
+
+func TestMalformedSubmissions(t *testing.T) {
+	api, _ := newTestAPI(t, nil, nil)
+	mux := api.Mux()
+	for _, body := range []string{
+		`{"modulus_hex":"zz"}`,               // not hex
+		`{"modulus_hex":""}`,                 // empty
+		`{"modulus_hex":"10"}`,               // 5 bits, below MinModulusBits
+		`{"modulus_hex":"0de0b6b3a763fffe"}`, // even
+		`how do i check my key`,              // not JSON, not PEM
+		`{"cert_pem":"-----BEGIN NOTHING-----"}`,
+	} {
+		rr := postCheck(mux, body)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("body %q: HTTP %d, want 400 (%s)", body, rr.Code, rr.Body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil || !strings.Contains(er.Error, "malformed") {
+			t.Errorf("body %q: error response %s", body, rr.Body)
+		}
+	}
+}
+
+// TestPEMSubmission covers the three certificate submission routes: a
+// raw PEM body, the cert_pem JSON field, and base64 DER. All must
+// resolve to the same factored verdict as the modulus itself.
+func TestPEMSubmission(t *testing.T) {
+	api, _ := newTestAPI(t, nil, nil)
+	mux := api.Mux()
+	c := certFor(t, 9, "Juniper", p1, p2)
+	var pem bytes.Buffer
+	if err := c.EncodePEM(&pem); err != nil {
+		t.Fatal(err)
+	}
+	der, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := map[string]string{
+		"raw PEM":  pem.String(),
+		"cert_pem": string(mustJSON(t, checkRequest{CertPEM: pem.String()})),
+		"cert_der": string(mustJSON(t, checkRequest{CertDER: der})),
+	}
+	for name, body := range bodies {
+		rr := postCheck(mux, body)
+		if rr.Code != http.StatusOK {
+			t.Errorf("%s: HTTP %d (%s)", name, rr.Code, rr.Body)
+			continue
+		}
+		var v Verdict
+		if err := json.Unmarshal(rr.Body.Bytes(), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusFactored || v.Vendor != "Juniper" {
+			t.Errorf("%s: verdict %+v, want factored Juniper", name, v)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestCheckMethodNotAllowed(t *testing.T) {
+	api, _ := newTestAPI(t, nil, nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/check", nil)
+	rr := httptest.NewRecorder()
+	api.Mux().ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/check: HTTP %d, want 405", rr.Code)
+	}
+}
+
+// TestRateLimiting drives one client past its burst and checks both the
+// 429 and that a distinct client (different X-Forwarded-For hop) still
+// has its own budget.
+func TestRateLimiting(t *testing.T) {
+	reg := telemetry.New()
+	api, _ := newTestAPI(t, NewRateLimiter(1, 3), reg)
+	mux := api.Mux()
+	body := fmt.Sprintf(`{"modulus_hex":"%s"}`, modNc.Text(16))
+
+	do := func(client string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+		req.RemoteAddr = "192.0.2.1:4242"
+		req.Header.Set("X-Forwarded-For", client+", 10.0.0.1")
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, req)
+		return rr
+	}
+
+	for i := 0; i < 3; i++ {
+		if rr := do("a"); rr.Code != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d (%s)", i, rr.Code, rr.Body)
+		}
+	}
+	rr := do("a")
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over burst: HTTP %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if rr := do("b"); rr.Code != http.StatusOK {
+		t.Errorf("distinct client limited: HTTP %d", rr.Code)
+	}
+	if got := reg.CounterValue("keycheck_ratelimited_total"); got != 1 {
+		t.Errorf("keycheck_ratelimited_total = %d, want 1", got)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	reg := telemetry.New()
+	api, svc := newTestAPI(t, NewRateLimiter(100, 100), reg)
+	mux := api.Mux()
+	postCheck(mux, fmt.Sprintf(`{"modulus_hex":"%s"}`, modN1.Text(16)))
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	req.RemoteAddr = "192.0.2.1:4242"
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("HTTP %d", rr.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Moduli != 3 || st.Index.Factored != 2 {
+		t.Errorf("index stats %+v", st.Index)
+	}
+	if st.TrackedClients != 1 {
+		t.Errorf("tracked clients = %d, want 1", st.TrackedClients)
+	}
+
+	svc.Publish(goldenSnapshot(t, 1))
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotSwaps != 1 {
+		t.Errorf("snapshot swaps = %d, want 1", st.SnapshotSwaps)
+	}
+}
+
+func TestExemplarsEndpoint(t *testing.T) {
+	api, _ := newTestAPI(t, nil, nil)
+	mux := api.Mux()
+	req := httptest.NewRequest(http.MethodGet, "/v1/exemplars?n=2", nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("HTTP %d", rr.Code)
+	}
+	var ex exemplarsResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Factored) != 2 || len(ex.Clean) != 1 {
+		t.Errorf("exemplars %d/%d, want 2 factored, 1 clean", len(ex.Factored), len(ex.Clean))
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/exemplars?n=0", nil)
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("n=0: HTTP %d, want 400", rr.Code)
+	}
+}
+
+// TestCachedVerdict: with caching on, a repeat submission answers from
+// the LRU and says so on the wire.
+func TestCachedVerdict(t *testing.T) {
+	reg := telemetry.New()
+	snap := goldenSnapshot(t, 1)
+	svc := NewService(snap, Config{Metrics: reg})
+	mux := NewAPI(svc, nil, reg).Mux()
+	body := fmt.Sprintf(`{"modulus_hex":"%s"}`, modN1.Text(16))
+
+	first := postCheck(mux, body)
+	second := postCheck(mux, body)
+	if strings.Contains(first.Body.String(), `"cached":true`) {
+		t.Error("first response claims cached")
+	}
+	if !strings.Contains(second.Body.String(), `"cached":true`) {
+		t.Errorf("repeat response not cached: %s", second.Body)
+	}
+	if hits := reg.CounterValue("keycheck_cache_hits_total"); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	if got := reg.CounterValue(`keycheck_http_requests_total{code="200"}`); got != 2 {
+		t.Errorf(`keycheck_http_requests_total{code="200"} = %d, want 2`, got)
+	}
+	if got := reg.CounterValue(`keycheck_checks_total{verdict="factored"}`); got != 2 {
+		t.Errorf("factored verdict counter = %d, want 2", got)
+	}
+}

@@ -1,0 +1,357 @@
+package keycheck
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/big"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/prodtree"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+// Entry is the exact-map record for one factored corpus modulus.
+type Entry struct {
+	// P, Q is the recovered factorization, P <= Q.
+	P, Q *big.Int
+	// Vendor and Attribution are the fingerprint label of a corpus
+	// certificate serving this modulus ("" when unlabeled or bare-key).
+	Vendor      string
+	Attribution string
+}
+
+// shard holds one hash partition of the corpus: a Bloom filter over
+// every modulus observed in the partition, the exact map of factored
+// moduli behind it, and the partition's modulus product for the GCD
+// path. All fields are immutable after Build.
+type shard struct {
+	bloom    *bloomFilter
+	factored map[string]Entry
+	product  *big.Int
+	moduli   int
+	// cleanSample holds a few non-factored member keys for
+	// Snapshot.Exemplars (smoke tests and load generators need known
+	// clean corpus members without shipping the whole corpus).
+	cleanSample []string
+}
+
+// exemplarSample bounds the per-shard clean-key sample.
+const exemplarSample = 32
+
+// Snapshot is an immutable, queryable index over one corpus. Snapshots
+// are built once, published through an Index, and shared by any number
+// of concurrent readers without locking.
+type Snapshot struct {
+	shards   []*shard
+	moduli   int
+	factored int
+}
+
+// DefaultShards is the Build default; the sweet spot at simulation scale
+// between per-shard product size and fan-out cost.
+const DefaultShards = 8
+
+// BuildInput configures Build.
+type BuildInput struct {
+	// Store is the scan corpus (required).
+	Store *scanstore.Store
+	// Fingerprint supplies the factored set and vendor labels; nil
+	// builds a membership-and-GCD-only index that can never answer
+	// "factored" (it still answers "shared_factor" via the GCD path).
+	Fingerprint *fingerprint.Result
+	// Shards is the partition count (default DefaultShards).
+	Shards int
+}
+
+// Build constructs a Snapshot from a completed study's corpus. The
+// per-shard modulus products are built concurrently; ctx cancels
+// mid-build (checked per product-tree level).
+func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
+	if in.Store == nil {
+		return nil, fmt.Errorf("keycheck: build: nil store")
+	}
+	nShards := in.Shards
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	moduli, keys := in.Store.DistinctModuli()
+	snap := &Snapshot{shards: make([]*shard, nShards), moduli: len(moduli)}
+	byShard := make([][]*big.Int, nShards)
+	for i := range snap.shards {
+		snap.shards[i] = &shard{factored: make(map[string]Entry)}
+	}
+	var factors map[string]fingerprint.Factors
+	if in.Fingerprint != nil {
+		factors = in.Fingerprint.Factors
+	}
+	for i, key := range keys {
+		si := shardOf(key, nShards)
+		sh := snap.shards[si]
+		byShard[si] = append(byShard[si], moduli[i])
+		sh.moduli++
+		if f, ok := factors[key]; ok {
+			sh.factored[key] = Entry{P: f.P, Q: f.Q}
+			snap.factored++
+		} else if len(sh.cleanSample) < exemplarSample {
+			sh.cleanSample = append(sh.cleanSample, key)
+		}
+	}
+	// Vendor labels ride along with the factored entries so a verdict
+	// can name the implicated implementation, the paper's Section 3.3
+	// attribution surfaced per key.
+	if in.Fingerprint != nil {
+		for si := range snap.shards {
+			sh := snap.shards[si]
+			for key, e := range sh.factored {
+				for _, c := range in.Store.CertsWithModulus(key) {
+					fp, err := c.Fingerprint()
+					if err != nil {
+						continue
+					}
+					if lbl, ok := in.Fingerprint.Labels[fp]; ok {
+						e.Vendor, e.Attribution = lbl.Vendor, lbl.Method.String()
+						sh.factored[key] = e
+						break
+					}
+				}
+			}
+		}
+	}
+	// Blooms and products. Products dominate build time; run shards
+	// concurrently, mirroring the subset partitioning of the
+	// distributed batch GCD.
+	var wg sync.WaitGroup
+	errs := make([]error, nShards)
+	for si := range snap.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := snap.shards[si]
+			sh.bloom = newBloom(sh.moduli)
+			if len(byShard[si]) == 0 {
+				return
+			}
+			for _, n := range byShard[si] {
+				sh.bloom.add(string(n.Bytes()))
+			}
+			tree, err := prodtree.NewCtx(ctx, byShard[si])
+			if err != nil {
+				errs[si] = fmt.Errorf("keycheck: build shard %d: %w", si, err)
+				return
+			}
+			sh.product = tree.Root()
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+// shardOf maps a modulus key to its home shard by FNV-1a hash.
+func shardOf(key string, nShards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(nShards))
+}
+
+var one = big.NewInt(1)
+
+// Check answers for one modulus. The fast path is the home shard's
+// Bloom filter plus exact map; a miss falls through to GCD against
+// every shard's product, so a key no scan ever observed is still caught
+// when it shares a prime with the corpus.
+func (s *Snapshot) Check(n *big.Int) Verdict {
+	key := string(n.Bytes())
+	home := shardOf(key, len(s.shards))
+	v := Verdict{Status: StatusClean, ModulusBits: n.BitLen(), Shard: home}
+	homeShard := s.shards[home]
+	inBloom := homeShard.bloom.mayContain(key)
+	if inBloom {
+		if e, ok := homeShard.factored[key]; ok {
+			v.Status = StatusFactored
+			v.Known = true
+			v.FactorP, v.FactorQ = hexOf(e.P), hexOf(e.Q)
+			v.Vendor, v.Attribution = e.Vendor, e.Attribution
+			return v
+		}
+	}
+	// GCD path. gcd(n, P mod n) = gcd(n, P) finds the product of n's
+	// primes shared with shard product P without ever forming P/n.
+	g := new(big.Int).Set(one)
+	var proper *big.Int // a proper divisor of n, if any shard yields one
+	r := new(big.Int)
+	for si, sh := range s.shards {
+		if sh.product == nil {
+			continue
+		}
+		r.Mod(sh.product, n)
+		if r.Sign() == 0 {
+			// n divides the shard product outright. For the home shard
+			// with a Bloom hit that means n is a corpus member: batch
+			// GCD already ran over the whole corpus at build time, so a
+			// member absent from the factored map shares no prime.
+			if si == home && inBloom {
+				v.Known = true
+				continue
+			}
+			// A novel modulus dividing a product means every prime of n
+			// is in the corpus.
+			g.Set(n)
+			continue
+		}
+		gi := new(big.Int).GCD(nil, nil, n, r)
+		if gi.Cmp(one) <= 0 {
+			continue
+		}
+		if gi.Cmp(n) < 0 {
+			proper = gi
+		}
+		g.Mul(g, gi)
+		g.GCD(nil, nil, g, n)
+	}
+	if g.Cmp(one) == 0 {
+		return v
+	}
+	v.Status = StatusSharedFactor
+	if g.Cmp(n) == 0 && proper == nil {
+		// Both primes live in one shard's product, so every per-shard
+		// GCD was degenerate. Recover the split from the known factored
+		// primes when possible.
+		proper = s.recoverDivisor(n)
+	}
+	if g.Cmp(n) < 0 {
+		proper = g
+	}
+	if proper != nil {
+		p := proper
+		q := new(big.Int).Quo(n, p)
+		if new(big.Int).Mul(p, q).Cmp(n) == 0 {
+			if p.Cmp(q) > 0 {
+				p, q = q, p
+			}
+			v.FactorP, v.FactorQ = hexOf(p), hexOf(q)
+		}
+	}
+	v.Divisor = hexOf(g)
+	return v
+}
+
+// recoverDivisorCap bounds the fallback prime scan for the rare
+// both-primes-in-one-shard case.
+const recoverDivisorCap = 4096
+
+func (s *Snapshot) recoverDivisor(n *big.Int) *big.Int {
+	scanned := 0
+	for _, sh := range s.shards {
+		for _, e := range sh.factored {
+			for _, p := range []*big.Int{e.P, e.Q} {
+				g := new(big.Int).GCD(nil, nil, n, p)
+				if g.Cmp(one) > 0 && g.Cmp(n) < 0 {
+					return g
+				}
+			}
+			if scanned++; scanned >= recoverDivisorCap {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// ShardStats describes one shard for /v1/stats.
+type ShardStats struct {
+	Moduli      int `json:"moduli"`
+	Factored    int `json:"factored"`
+	ProductBits int `json:"product_bits"`
+}
+
+// SnapshotStats describes the snapshot for /v1/stats.
+type SnapshotStats struct {
+	Moduli   int          `json:"moduli"`
+	Factored int          `json:"factored"`
+	Shards   []ShardStats `json:"shards"`
+}
+
+// Stats summarizes the snapshot.
+func (s *Snapshot) Stats() SnapshotStats {
+	st := SnapshotStats{Moduli: s.moduli, Factored: s.factored}
+	for _, sh := range s.shards {
+		ss := ShardStats{Moduli: sh.moduli, Factored: len(sh.factored)}
+		if sh.product != nil {
+			ss.ProductBits = sh.product.BitLen()
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+// Moduli returns the number of distinct corpus moduli indexed.
+func (s *Snapshot) Moduli() int { return s.moduli }
+
+// Factored returns the number of factored corpus moduli indexed.
+func (s *Snapshot) Factored() int { return s.factored }
+
+// Exemplars returns up to n factored and n clean corpus moduli (hex,
+// deterministic order) — known-answer inputs for smoke tests and load
+// generators.
+func (s *Snapshot) Exemplars(n int) (factored, clean []string) {
+	var fk, ck []string
+	for _, sh := range s.shards {
+		for key := range sh.factored {
+			fk = append(fk, key)
+		}
+		ck = append(ck, sh.cleanSample...)
+	}
+	sort.Strings(fk)
+	sort.Strings(ck)
+	trunc := func(keys []string) []string {
+		if len(keys) > n {
+			keys = keys[:n]
+		}
+		out := make([]string, len(keys))
+		for i, k := range keys {
+			out[i] = hexOf(new(big.Int).SetBytes([]byte(k)))
+		}
+		return out
+	}
+	return trunc(fk), trunc(ck)
+}
+
+// Index publishes the live Snapshot. Readers load it with one atomic
+// pointer read; Swap folds a rebuilt snapshot in without ever blocking
+// them — the factorable.net "fold in the new scan's results" motion.
+type Index struct {
+	snap  atomic.Pointer[Snapshot]
+	swaps atomic.Int64
+}
+
+// NewIndex publishes an initial snapshot.
+func NewIndex(s *Snapshot) *Index {
+	ix := &Index{}
+	ix.snap.Store(s)
+	return ix
+}
+
+// Snapshot returns the currently published snapshot.
+func (ix *Index) Snapshot() *Snapshot { return ix.snap.Load() }
+
+// Swap atomically publishes s and returns the previous snapshot.
+// In-flight checks keep reading the snapshot they started on.
+func (ix *Index) Swap(s *Snapshot) *Snapshot {
+	ix.swaps.Add(1)
+	return ix.snap.Swap(s)
+}
+
+// Swaps counts snapshots published after the initial one.
+func (ix *Index) Swaps() int64 { return ix.swaps.Load() }
+
+// Check answers against the currently published snapshot.
+func (ix *Index) Check(n *big.Int) Verdict { return ix.snap.Load().Check(n) }

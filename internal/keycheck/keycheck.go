@@ -1,0 +1,148 @@
+// Package keycheck is the serving layer of the study: an online weak-key
+// lookup service over a completed corpus, the reproduction of
+// factorable.net's "check my key" endpoint that the original batch-GCD
+// papers deployed and that "Ensuring High-Quality Randomness in
+// Cryptographic Key Generation" proposes as a registration-time check.
+//
+// The queryable artifact is an immutable Snapshot: the corpus's distinct
+// moduli sharded by modulus hash, each shard fronted by a Bloom filter
+// over every observed modulus with an exact map of the factored moduli
+// behind it, plus the shard's modulus product for the GCD path. A
+// submitted modulus that is in the corpus answers from the exact map; a
+// novel one is still checked by GCD against every shard's product —
+// exactly how factorable.net handled fresh submissions, and the reason
+// an online service is more than a set lookup: a key never seen by any
+// scan is still compromised if it shares a prime with the corpus.
+//
+// Snapshots are published through an Index and swapped atomically, so
+// new study results are folded in without blocking readers. Service
+// wraps an Index with the production serving path — bounded worker
+// pool, LRU verdict cache, graceful drain, telemetry, fault injection —
+// and NewMux exposes it over HTTP (POST /v1/check, GET /v1/stats).
+package keycheck
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"github.com/factorable/weakkeys/internal/certs"
+)
+
+// Status classifies a checked modulus.
+type Status string
+
+const (
+	// StatusFactored: the modulus is in the corpus and batch GCD
+	// recovered its factorization. The key is compromised.
+	StatusFactored Status = "factored"
+	// StatusSharedFactor: the modulus is novel but shares a prime with
+	// the corpus; the GCD path recovered the factorization on the spot.
+	// The key is compromised.
+	StatusSharedFactor Status = "shared_factor"
+	// StatusClean: no shared factor with the corpus is known. Not a
+	// proof of safety — only that this corpus cannot break the key.
+	StatusClean Status = "clean"
+)
+
+// Verdict is the service's answer for one modulus. Field order is the
+// wire order of the JSON API.
+type Verdict struct {
+	Status Status `json:"status"`
+	// Known reports whether the modulus itself appears in the corpus.
+	Known bool `json:"known"`
+	// ModulusBits is the submitted modulus's bit length.
+	ModulusBits int `json:"modulus_bits"`
+	// Shard is the home shard of the modulus hash.
+	Shard int `json:"shard"`
+	// FactorP/FactorQ (hex, P <= Q) are set when a full factorization
+	// is known or was recovered by the GCD path.
+	FactorP string `json:"factor_p_hex,omitempty"`
+	FactorQ string `json:"factor_q_hex,omitempty"`
+	// Divisor (hex) is the nontrivial common divisor the GCD path found
+	// for a shared_factor verdict.
+	Divisor string `json:"divisor_hex,omitempty"`
+	// Vendor/Attribution carry the internal/fingerprint vendor label of
+	// the corpus certificate serving this modulus, when one exists.
+	Vendor      string `json:"vendor,omitempty"`
+	Attribution string `json:"attribution,omitempty"`
+	// Cached marks a verdict answered from the LRU cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Compromised reports whether the verdict means the private key is
+// recoverable from public data.
+func (v Verdict) Compromised() bool {
+	return v.Status == StatusFactored || v.Status == StatusSharedFactor
+}
+
+// Submission limits. MaxModulusBits bounds the accepted key size so a
+// hostile client cannot feed multi-megabyte integers into the GCD path;
+// MinModulusBits rejects degenerate toy inputs.
+const (
+	MaxModulusBits = 16384
+	MinModulusBits = 16
+)
+
+// ErrMalformed wraps every submission-parsing failure; the HTTP layer
+// maps it to 400.
+var ErrMalformed = errors.New("keycheck: malformed submission")
+
+// ParseModulusHex parses a hex-encoded modulus submission (with or
+// without an 0x prefix) and validates its size.
+func ParseModulusHex(s string) (*big.Int, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "0x"))
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty modulus_hex", ErrMalformed)
+	}
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: modulus_hex: %v", ErrMalformed, err)
+	}
+	return validateModulus(new(big.Int).SetBytes(raw))
+}
+
+// ParseCertPEM extracts and validates the RSA modulus from a PEM
+// submission: either a WEAKKEYS CERTIFICATE block or a bare WEAKKEYS RSA
+// MODULUS block.
+func ParseCertPEM(data []byte) (*big.Int, error) {
+	if c, err := certs.ParsePEM(data); err == nil {
+		return validateModulus(c.N)
+	}
+	mods, err := certs.ParseModulusPEMs(data)
+	if err != nil || len(mods) == 0 {
+		return nil, fmt.Errorf("%w: no certificate or modulus PEM block", ErrMalformed)
+	}
+	return validateModulus(mods[0])
+}
+
+// ParseCertDER extracts and validates the RSA modulus from a DER
+// certificate submission.
+func ParseCertDER(data []byte) (*big.Int, error) {
+	c, err := certs.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: cert_der: %v", ErrMalformed, err)
+	}
+	return validateModulus(c.N)
+}
+
+func validateModulus(n *big.Int) (*big.Int, error) {
+	if n == nil || n.Sign() <= 0 {
+		return nil, fmt.Errorf("%w: modulus must be positive", ErrMalformed)
+	}
+	if bits := n.BitLen(); bits < MinModulusBits || bits > MaxModulusBits {
+		return nil, fmt.Errorf("%w: modulus is %d bits, want %d..%d",
+			ErrMalformed, bits, MinModulusBits, MaxModulusBits)
+	}
+	if n.Bit(0) == 0 {
+		return nil, fmt.Errorf("%w: modulus is even", ErrMalformed)
+	}
+	return n, nil
+}
+
+func hexOf(n *big.Int) string { return n.Text(16) }

@@ -1,0 +1,98 @@
+package keycheck
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-client token bucket: each client key (the HTTP
+// layer uses the caller's IP) gets Burst tokens refilled at Rate per
+// second. A public check service is a free factoring oracle if left
+// unmetered — the paper's ethics section withheld exactly this data —
+// so the limiter is on by default in cmd/keyserverd.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	max     int // tracked-client bound
+	buckets map[string]*tokenBucket
+	now     func() time.Time
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTrackedClients bounds limiter memory; see sweep.
+const maxTrackedClients = 16384
+
+// NewRateLimiter returns a limiter granting burst tokens per client,
+// refilled at rate per second. rate <= 0 returns nil; a nil limiter
+// allows everything.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		max:     maxTrackedClients,
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// Allow reports whether client may proceed, consuming one token if so.
+func (l *RateLimiter) Allow(client string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= l.max {
+			l.sweepLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked drops buckets that have refilled to burst — an idle
+// client's bucket is indistinguishable from a fresh one, so evicting it
+// never changes behaviour. If every client is active the map grows past
+// max rather than throttling the innocent.
+func (l *RateLimiter) sweepLocked(now time.Time) {
+	for key, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// Clients returns the number of tracked client buckets.
+func (l *RateLimiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

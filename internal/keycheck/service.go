@@ -1,0 +1,223 @@
+package keycheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// Overload and lifecycle errors; the HTTP layer maps both to 503.
+var (
+	// ErrOverloaded is returned when every worker is busy and the
+	// caller's queue wait expired — the load-shedding path.
+	ErrOverloaded = errors.New("keycheck: overloaded, try again")
+	// ErrDraining is returned for checks arriving after Drain started.
+	ErrDraining = errors.New("keycheck: draining for shutdown")
+)
+
+// Config tunes a Service. The zero value serves with GOMAXPROCS
+// workers, a 50ms queue wait and a 4096-entry verdict cache.
+type Config struct {
+	// Workers bounds concurrent GCD-path checks.
+	Workers int
+	// QueueWait is how long a check waits for a worker before being
+	// shed with ErrOverloaded. Zero selects 50ms; negative sheds
+	// immediately.
+	QueueWait time.Duration
+	// CacheSize is the LRU verdict-cache capacity. Zero selects 4096;
+	// negative disables caching.
+	CacheSize int
+	// Metrics receives the serving telemetry (nil disables).
+	Metrics *telemetry.Registry
+	// Faults, when set, injects per-check chaos: Refuse sheds the
+	// check, Stall holds its worker for FaultStall. Drives the chaos
+	// tests; nil in production.
+	Faults *faults.Plan
+	// FaultStall is the injected Stall duration (default 10ms).
+	FaultStall time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 50 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.FaultStall <= 0 {
+		c.FaultStall = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Service is the production serving path over an Index: bounded worker
+// pool, LRU verdict cache, graceful drain and telemetry. Safe for
+// concurrent use.
+type Service struct {
+	idx   *Index
+	cfg   Config
+	cache *verdictCache
+	sem   chan struct{}
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	checkSeconds  *telemetry.Histogram
+	cacheHits     *telemetry.Counter
+	cacheMisses   *telemetry.Counter
+	inflightGauge *telemetry.Gauge
+	verdicts      map[Status]*telemetry.Counter
+}
+
+// NewService publishes snap and returns a serving wrapper around it.
+func NewService(snap *Snapshot, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	s := &Service{
+		idx:           NewIndex(snap),
+		cfg:           cfg,
+		cache:         newVerdictCache(cfg.CacheSize),
+		sem:           make(chan struct{}, cfg.Workers),
+		checkSeconds:  reg.Histogram("keycheck_check_seconds", telemetry.DurationBuckets),
+		cacheHits:     reg.Counter("keycheck_cache_hits_total"),
+		cacheMisses:   reg.Counter("keycheck_cache_misses_total"),
+		inflightGauge: reg.Gauge("keycheck_inflight_checks"),
+		verdicts: map[Status]*telemetry.Counter{
+			StatusFactored:     reg.Counter(`keycheck_checks_total{verdict="factored"}`),
+			StatusSharedFactor: reg.Counter(`keycheck_checks_total{verdict="shared_factor"}`),
+			StatusClean:        reg.Counter(`keycheck_checks_total{verdict="clean"}`),
+		},
+	}
+	s.publishGauges(snap)
+	return s
+}
+
+// Index exposes the underlying index (read path and snapshot swap).
+func (s *Service) Index() *Index { return s.idx }
+
+// Publish atomically swaps in a rebuilt snapshot — the fold-in motion
+// for new study results — and invalidates the verdict cache, since a
+// previously clean key may now be factored. Readers are never blocked.
+func (s *Service) Publish(snap *Snapshot) {
+	s.idx.Swap(snap)
+	s.cache.purge()
+	s.cfg.Metrics.Counter("keycheck_snapshot_swaps_total").Inc()
+	s.publishGauges(snap)
+}
+
+func (s *Service) publishGauges(snap *Snapshot) {
+	reg := s.cfg.Metrics
+	if reg == nil || snap == nil {
+		return
+	}
+	reg.Gauge("keycheck_index_moduli").Set(float64(snap.moduli))
+	reg.Gauge("keycheck_index_factored").Set(float64(snap.factored))
+	for i, sh := range snap.shards {
+		reg.Gauge(fmt.Sprintf(`keycheck_shard_moduli{shard="%d"}`, i)).Set(float64(sh.moduli))
+		reg.Gauge(fmt.Sprintf(`keycheck_shard_factored{shard="%d"}`, i)).Set(float64(len(sh.factored)))
+	}
+}
+
+func (s *Service) shed(cause string) error {
+	s.cfg.Metrics.Counter(`keycheck_shed_total{cause="` + cause + `"}`).Inc()
+	if cause == "draining" {
+		return ErrDraining
+	}
+	return ErrOverloaded
+}
+
+// Check runs one modulus through the serving path: drain gate, fault
+// injection, cache, bounded worker pool, index lookup.
+func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		return Verdict{}, s.shed("draining")
+	}
+	s.inflight.Add(1)
+	s.drainMu.Unlock()
+	defer s.inflight.Done()
+
+	var stall time.Duration
+	if s.cfg.Faults != nil {
+		switch d := s.cfg.Faults.Next(); {
+		case d.Crash || d.Action == faults.Refuse:
+			s.cfg.Metrics.Counter("keycheck_faults_injected_total").Inc()
+			return Verdict{}, s.shed("fault")
+		case d.Action == faults.Stall:
+			s.cfg.Metrics.Counter("keycheck_faults_injected_total").Inc()
+			stall = s.cfg.FaultStall
+		}
+	}
+
+	key := string(n.Bytes())
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		v.Cached = true
+		s.verdicts[v.Status].Inc()
+		return v, nil
+	}
+	s.cacheMisses.Inc()
+
+	// Bounded pool: a slot now, or within QueueWait, or shed.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.cfg.QueueWait < 0 {
+			return Verdict{}, s.shed("queue")
+		}
+		timer := time.NewTimer(s.cfg.QueueWait)
+		defer timer.Stop()
+		select {
+		case s.sem <- struct{}{}:
+		case <-timer.C:
+			return Verdict{}, s.shed("queue")
+		case <-ctx.Done():
+			return Verdict{}, ctx.Err()
+		}
+	}
+	s.inflightGauge.Add(1)
+	defer func() {
+		s.inflightGauge.Add(-1)
+		<-s.sem
+	}()
+
+	if stall > 0 {
+		select {
+		case <-time.After(stall):
+		case <-ctx.Done():
+			return Verdict{}, ctx.Err()
+		}
+	}
+
+	start := time.Now()
+	v := s.idx.Check(n)
+	s.checkSeconds.ObserveDuration(time.Since(start))
+	s.verdicts[v.Status].Inc()
+	s.cache.put(key, v)
+	return v, nil
+}
+
+// Drain stops admitting new checks and blocks until every in-flight
+// check finishes — the graceful half of shutdown. Safe to call more
+// than once.
+func (s *Service) Drain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.inflight.Wait()
+}
+
+// CacheLen returns the current verdict-cache size.
+func (s *Service) CacheLen() int { return s.cache.len() }

@@ -1,0 +1,302 @@
+package keycheck
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// TestServiceChaosFaults drives concurrent checks through a service
+// whose fault plan refuses and stalls a fraction of them. Every check
+// must end in exactly one of two states — a correct verdict or a shed —
+// and the telemetry must account for each injected fault. Runs under
+// -race in CI.
+func TestServiceChaosFaults(t *testing.T) {
+	reg := telemetry.New()
+	plan := faults.NewPlan(7, faults.Weights{Refuse: 0.25, Stall: 0.1})
+	svc := NewService(goldenSnapshot(t, 2), Config{
+		Workers:    4,
+		CacheSize:  -1, // every check exercises the full path
+		Metrics:    reg,
+		Faults:     plan,
+		FaultStall: time.Millisecond,
+	})
+
+	inputs := []*big.Int{modN1, modN2, modN3, modNs, modNc}
+	want := map[string]Status{
+		string(modN1.Bytes()): StatusFactored,
+		string(modN2.Bytes()): StatusFactored,
+		string(modN3.Bytes()): StatusClean,
+		string(modNs.Bytes()): StatusSharedFactor,
+		string(modNc.Bytes()): StatusClean,
+	}
+
+	const goroutines, perG = 16, 20
+	var ok, shed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := inputs[(g+i)%len(inputs)]
+				v, err := svc.Check(context.Background(), n)
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+					if v.Status != want[string(n.Bytes())] {
+						t.Errorf("wrong verdict for %s: %+v", n.Text(16), v)
+					}
+				case errors.Is(err, ErrOverloaded):
+					shed++
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if ok+shed != goroutines*perG {
+		t.Errorf("accounting: %d ok + %d shed != %d checks", ok, shed, goroutines*perG)
+	}
+	injected := plan.Injected()
+	if shed < injected[faults.Refuse] {
+		t.Errorf("%d sheds < %d injected refusals", shed, injected[faults.Refuse])
+	}
+	wantInjected := injected[faults.Refuse] + injected[faults.Stall]
+	if got := reg.CounterValue("keycheck_faults_injected_total"); got != wantInjected {
+		t.Errorf("keycheck_faults_injected_total = %d, want %d", got, wantInjected)
+	}
+	if got := reg.CounterValue(`keycheck_shed_total{cause="fault"}`); got != injected[faults.Refuse] {
+		t.Errorf(`keycheck_shed_total{cause="fault"} = %d, want %d`, got, injected[faults.Refuse])
+	}
+	if injected[faults.Refuse] == 0 || injected[faults.Stall] == 0 {
+		t.Errorf("plan injected nothing (refuse=%d stall=%d); chaos test is vacuous",
+			injected[faults.Refuse], injected[faults.Stall])
+	}
+}
+
+// TestServiceShedsWhenSaturated pins the worker pool behaviour: with one
+// worker held by a stalled check and a negative queue wait, every other
+// check is shed immediately with ErrOverloaded.
+func TestServiceShedsWhenSaturated(t *testing.T) {
+	reg := telemetry.New()
+	svc := NewService(goldenSnapshot(t, 1), Config{
+		Workers:    1,
+		QueueWait:  -1, // shed instead of queueing
+		CacheSize:  -1,
+		Metrics:    reg,
+		Faults:     faults.NewEveryN(1, faults.Stall), // every check stalls its worker
+		FaultStall: 100 * time.Millisecond,
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Check(context.Background(), modNc)
+		done <- err
+	}()
+	// Wait for the stalled check to occupy the sole worker.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.GaugeValue("keycheck_inflight_checks") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled check never acquired the worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const contenders = 5
+	for i := 0; i < contenders; i++ {
+		n := new(big.Int).SetBit(big.NewInt(int64(i)*2+1), 40, 1)
+		if _, err := svc.Check(context.Background(), n); !errors.Is(err, ErrOverloaded) {
+			t.Errorf("contender %d: err = %v, want ErrOverloaded", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Errorf("stalled check itself failed: %v", err)
+	}
+	if got := reg.CounterValue(`keycheck_shed_total{cause="queue"}`); got != contenders {
+		t.Errorf(`keycheck_shed_total{cause="queue"} = %d, want %d`, got, contenders)
+	}
+}
+
+// TestDrain: checks in flight when Drain starts must complete; checks
+// arriving afterwards are refused with ErrDraining.
+func TestDrain(t *testing.T) {
+	reg := telemetry.New()
+	svc := NewService(goldenSnapshot(t, 1), Config{
+		Workers:    2,
+		Metrics:    reg,
+		Faults:     faults.NewEveryN(1, faults.Stall),
+		FaultStall: 30 * time.Millisecond,
+	})
+
+	type outcome struct {
+		v   Verdict
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := svc.Check(context.Background(), modN1)
+		done <- outcome{v, err}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.GaugeValue("keycheck_inflight_checks") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight check never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	svc.Drain()
+	// Drain returned, so the in-flight check must have finished — its
+	// result is already buffered.
+	select {
+	case out := <-done:
+		if out.err != nil || out.v.Status != StatusFactored {
+			t.Errorf("in-flight check during drain: %+v, %v", out.v, out.err)
+		}
+	default:
+		t.Error("Drain returned before the in-flight check completed")
+	}
+
+	if _, err := svc.Check(context.Background(), modN2); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain check: err = %v, want ErrDraining", err)
+	}
+	if got := reg.CounterValue(`keycheck_shed_total{cause="draining"}`); got != 1 {
+		t.Errorf(`keycheck_shed_total{cause="draining"} = %d, want 1`, got)
+	}
+	svc.Drain() // idempotent
+}
+
+// TestPublishInvalidatesCache: a snapshot swap must purge cached
+// verdicts — a key that was clean may be factored in the new corpus.
+func TestPublishInvalidatesCache(t *testing.T) {
+	reg := telemetry.New()
+	svc := NewService(goldenSnapshot(t, 1), Config{Metrics: reg})
+	ctx := context.Background()
+
+	if _, err := svc.Check(ctx, modN1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := svc.Check(ctx, modN1)
+	if err != nil || !v.Cached {
+		t.Fatalf("second check not cached: %+v, %v", v, err)
+	}
+	if svc.CacheLen() != 1 {
+		t.Fatalf("cache len %d", svc.CacheLen())
+	}
+
+	svc.Publish(goldenSnapshot(t, 1))
+	if svc.CacheLen() != 0 {
+		t.Errorf("cache survived snapshot swap: len %d", svc.CacheLen())
+	}
+	v, err = svc.Check(ctx, modN1)
+	if err != nil || v.Cached {
+		t.Errorf("post-swap check served stale cache: %+v, %v", v, err)
+	}
+	if got := reg.CounterValue("keycheck_snapshot_swaps_total"); got != 1 {
+		t.Errorf("keycheck_snapshot_swaps_total = %d, want 1", got)
+	}
+}
+
+// TestServiceQueueWaitAdmits: a check that finds all workers busy but
+// sees one free within QueueWait is admitted, not shed.
+func TestServiceQueueWaitAdmits(t *testing.T) {
+	svc := NewService(goldenSnapshot(t, 1), Config{
+		Workers:    1,
+		QueueWait:  2 * time.Second,
+		CacheSize:  -1,
+		Faults:     faults.NewEveryN(2, faults.Stall), // stall every 2nd check
+		FaultStall: 20 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := new(big.Int).SetBit(big.NewInt(int64(i)*2+1), 50, 1)
+			_, errs[i] = svc.Check(context.Background(), n)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("check %d shed despite generous queue wait: %v", i, err)
+		}
+	}
+}
+
+// TestServiceContextCancelled: a queued check whose context dies while
+// waiting for a worker returns the context error, not a verdict.
+func TestServiceContextCancelled(t *testing.T) {
+	svc := NewService(goldenSnapshot(t, 1), Config{
+		Workers:    1,
+		QueueWait:  10 * time.Second,
+		CacheSize:  -1,
+		Faults:     faults.NewEveryN(1, faults.Stall),
+		FaultStall: 200 * time.Millisecond,
+	})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		svc.Check(context.Background(), modNc)
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the first check take the worker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := svc.Check(ctx, modN3); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	svc.Drain()
+}
+
+func BenchmarkServiceCheck(b *testing.B) {
+	snap, err := buildBenchSnapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := NewService(snap, Config{CacheSize: -1})
+	ctx := context.Background()
+	b.Run("known", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc.Check(ctx, modN1)
+		}
+	})
+	b.Run("novel-gcd", func(b *testing.B) {
+		n := new(big.Int).Mul(r2, r3)
+		for i := 0; i < b.N; i++ {
+			svc.Check(ctx, n)
+		}
+	})
+}
+
+// buildBenchSnapshot indexes a 513-modulus corpus so the novel-GCD
+// benchmark reduces against realistically sized shard products.
+func buildBenchSnapshot() (*Snapshot, error) {
+	store := scanstore.New()
+	when := date(2013, 1, 1)
+	base := new(big.Int).Lsh(big.NewInt(1), 127)
+	for i := int64(0); i < 512; i++ {
+		n := new(big.Int).Add(base, big.NewInt(i*2+1))
+		store.AddBareKeyObservation("10.0.0.1", when, scanstore.SourceRapid7, scanstore.SSH, n)
+	}
+	store.AddBareKeyObservation("10.0.0.2", when, scanstore.SourceRapid7, scanstore.SSH, modN1)
+	return Build(context.Background(), BuildInput{Store: store, Shards: 4})
+}

@@ -1,0 +1,201 @@
+package keycheck
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+	"time"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	const n = 2000
+	f := newBloom(n)
+	for i := 0; i < n; i++ {
+		f.add(fmt.Sprintf("member-%d", i))
+	}
+	for i := 0; i < n; i++ {
+		if !f.mayContain(fmt.Sprintf("member-%d", i)) {
+			t.Fatalf("false negative for member-%d", i)
+		}
+	}
+	// ~1% expected at 10 bits/item, k=7; 5% is the alarm threshold.
+	fp := 0
+	for i := 0; i < n; i++ {
+		if f.mayContain(fmt.Sprintf("stranger-%d", i)) {
+			fp++
+		}
+	}
+	if fp > n/20 {
+		t.Errorf("false positive rate %d/%d > 5%%", fp, n)
+	}
+}
+
+func TestBloomNil(t *testing.T) {
+	f := newBloom(0)
+	if f != nil {
+		t.Fatal("empty bloom not nil")
+	}
+	f.add("x") // must not panic
+	if f.mayContain("x") {
+		t.Error("nil bloom claims membership")
+	}
+}
+
+func TestVerdictCacheLRU(t *testing.T) {
+	c := newVerdictCache(2)
+	va := Verdict{Status: StatusClean, ModulusBits: 1}
+	vb := Verdict{Status: StatusClean, ModulusBits: 2}
+	vc := Verdict{Status: StatusFactored, ModulusBits: 3}
+
+	c.put("a", va)
+	c.put("b", vb)
+	c.put("c", vc) // evicts a, the least recently used
+	if _, ok := c.get("a"); ok {
+		t.Error("a survived eviction")
+	}
+	if v, ok := c.get("b"); !ok || v.ModulusBits != 2 {
+		t.Error("b lost")
+	}
+	c.put("d", va) // b was just touched, so c is evicted
+	if _, ok := c.get("c"); ok {
+		t.Error("c survived eviction after b was touched")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("recently used b evicted")
+	}
+
+	c.put("b", vc) // update in place, no growth
+	if v, _ := c.get("b"); v.Status != StatusFactored {
+		t.Error("update lost")
+	}
+	if c.len() != 2 {
+		t.Errorf("len %d, want 2", c.len())
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Errorf("purged len %d", c.len())
+	}
+}
+
+func TestVerdictCacheNil(t *testing.T) {
+	for _, c := range []*verdictCache{newVerdictCache(0), newVerdictCache(-1)} {
+		c.put("k", Verdict{})
+		if _, ok := c.get("k"); ok {
+			t.Error("nil cache hit")
+		}
+		if c.len() != 0 {
+			t.Error("nil cache has length")
+		}
+		c.purge()
+	}
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l := NewRateLimiter(2, 3) // 2 tokens/sec, burst 3
+	now := time.Unix(1_000_000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Fatal("allowed past burst")
+	}
+	now = now.Add(500 * time.Millisecond) // refills one token
+	if !l.Allow("c") {
+		t.Error("denied after refill")
+	}
+	if l.Allow("c") {
+		t.Error("allowed beyond refilled tokens")
+	}
+	now = now.Add(time.Hour) // refill caps at burst, not an hour of tokens
+	for i := 0; i < 3; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("post-idle request %d denied", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Error("idle client accumulated more than burst")
+	}
+}
+
+func TestRateLimiterNil(t *testing.T) {
+	var l *RateLimiter
+	if !l.Allow("anyone") || l.Clients() != 0 {
+		t.Error("nil limiter must allow everything")
+	}
+	if NewRateLimiter(0, 5) != nil {
+		t.Error("rate 0 should disable the limiter")
+	}
+}
+
+// TestRateLimiterSweep: when the tracked-client map is full, buckets
+// that have refilled to burst (idle clients) are evicted; an actively
+// throttled client's bucket survives.
+func TestRateLimiterSweep(t *testing.T) {
+	l := NewRateLimiter(1, 2)
+	now := time.Unix(2_000_000, 0)
+	l.now = func() time.Time { return now }
+	l.max = 2
+
+	l.Allow("active")
+	l.Allow("active") // exhausted: 0 tokens
+	l.Allow("idle")
+	now = now.Add(time.Hour) // idle's bucket refills fully; so does active's
+
+	l.Allow("active") // active: back to burst, consumes one → 1 token
+	if l.Clients() != 2 {
+		t.Fatalf("tracked %d clients, want 2", l.Clients())
+	}
+	// A third client forces a sweep: idle (full bucket) is dropped,
+	// active (partial bucket) kept.
+	if !l.Allow("newcomer") {
+		t.Fatal("newcomer denied")
+	}
+	if l.Clients() != 2 {
+		t.Errorf("after sweep: %d clients, want 2 (active + newcomer)", l.Clients())
+	}
+	if !l.Allow("active") {
+		t.Error("active client lost its bucket in the sweep")
+	}
+	if l.Allow("active") {
+		t.Error("active client's token count reset by sweep")
+	}
+}
+
+func TestParseModulusHex(t *testing.T) {
+	hex := modN1.Text(16)
+	for _, in := range []string{hex, "0x" + hex, "  0x" + hex + "\n", "0" + hex} {
+		n, err := ParseModulusHex(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if n.Cmp(modN1) != 0 {
+			t.Errorf("%q parsed to %s", in, n.Text(16))
+		}
+	}
+	for _, in := range []string{
+		"", "0x", "nothex", "ff", // empty / too small
+		modN1.Text(16) + "00", // even
+	} {
+		if _, err := ParseModulusHex(in); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%q: err = %v, want ErrMalformed", in, err)
+		}
+	}
+	// An oversized modulus is rejected before it reaches the GCD path.
+	huge := new(big.Int).Lsh(big.NewInt(1), MaxModulusBits)
+	huge.SetBit(huge, 0, 1)
+	if _, err := ParseModulusHex(huge.Text(16)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized modulus: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestParseCertDERGarbage(t *testing.T) {
+	if _, err := ParseCertDER([]byte("junk")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}

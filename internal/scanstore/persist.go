@@ -30,7 +30,10 @@ func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	snap := snapshot{
 		Version: snapshotVersion,
-		Records: s.records,
+		// Copy the records under the lock: the gob encode below runs
+		// after RUnlock, and a concurrent Add appending to the shared
+		// backing array would race the encoder.
+		Records: append([]HostRecord(nil), s.records...),
 		Moduli:  make([][]byte, 0, len(s.modOrder)),
 		CertDER: make([][]byte, 0, len(s.certs)),
 	}
@@ -69,7 +72,8 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("scanstore: load: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("scanstore: unsupported snapshot version %d", snap.Version)
+		return nil, fmt.Errorf("scanstore: snapshot version %d not supported (this build reads version %d)",
+			snap.Version, snapshotVersion)
 	}
 	s := New()
 	for _, der := range snap.CertDER {

@@ -2,7 +2,12 @@ package scanstore
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
 	"math/big"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -47,6 +52,61 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(got.Records()) != 4 {
 		t.Errorf("records: %d", len(got.Records()))
+	}
+}
+
+// TestSaveRacesAdd is the -race regression for the snapshot capture:
+// Save used to alias s.records and gob-encode it after releasing the
+// lock, so a concurrent Add mutating the shared backing array raced the
+// encoder. The copy-under-lock fix makes this quiet under -race.
+func TestSaveRacesAdd(t *testing.T) {
+	s := New()
+	c := newCert(t, 70)
+	for i := 0; i < 50; i++ {
+		s.AddCertObservation(fmt.Sprintf("10.0.0.%d", i), date(2013, 1, 1), SourceRapid7, HTTPS, c)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.AddCertObservation(fmt.Sprintf("10.1.%d.%d", i/256, i%256), date(2014, 2, 2), SourceCensys, HTTPS, c)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := Load(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(snapshot{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("version-99 snapshot accepted")
+	}
+	// The error must name both the found and the supported version so an
+	// operator knows which side to upgrade.
+	if !strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), fmt.Sprint(snapshotVersion)) {
+		t.Errorf("error %q does not name found (99) and supported (%d) versions", err, snapshotVersion)
 	}
 }
 

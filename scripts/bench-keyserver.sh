@@ -1,0 +1,39 @@
+#!/bin/sh
+# Serving benchmark: start keyserverd on a small simulated study, drive
+# it with keyload, and write BENCH_keyserver.json (p50/p99 latency,
+# checks/sec). The rate limiter is disabled — the benchmark measures the
+# serving path, not the throttle.
+set -eu
+
+DURATION="${BENCH_DURATION:-5s}"
+CLIENTS="${BENCH_CLIENTS:-16}"
+OUT="${BENCH_OUT:-BENCH_keyserver.json}"
+
+TMP="$(mktemp -d)"
+trap 'kill "$KS_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/keyserverd" ./cmd/keyserverd
+go build -o "$TMP/keyload" ./cmd/keyload
+
+"$TMP/keyserverd" -scale 0.05 -bits 128 -subsets 3 -rate 0 \
+    -listen 127.0.0.1:0 >"$TMP/stdout" 2>"$TMP/stderr" &
+KS_PID=$!
+
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR="$(sed -n 's#.*keycheck API on http://\([^/]*\)/v1/check.*#\1#p' "$TMP/stderr" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$KS_PID" 2>/dev/null || { echo "bench-keyserver: keyserverd exited before serving" >&2; cat "$TMP/stderr" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "bench-keyserver: never saw the API address" >&2; cat "$TMP/stderr" >&2; exit 1; }
+
+"$TMP/keyload" -addr "$ADDR" -c "$CLIENTS" -duration "$DURATION" -json "$OUT"
+
+# The acceptance floor: the service must sustain >= 1000 checks/sec
+# locally at this tiny scale.
+RATE="$(sed -n 's/.*"checks_per_sec": \([0-9]*\)\..*/\1/p' "$OUT")"
+[ -n "$RATE" ] || { echo "bench-keyserver: no checks_per_sec in $OUT" >&2; cat "$OUT" >&2; exit 1; }
+[ "$RATE" -ge 1000 ] || { echo "bench-keyserver: $RATE checks/sec below the 1000 floor" >&2; cat "$OUT" >&2; exit 1; }
+
+echo "keyserver bench ok ($RATE checks/sec -> $OUT)"

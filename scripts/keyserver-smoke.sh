@@ -1,0 +1,74 @@
+#!/bin/sh
+# Key-check service smoke test: start keyserverd on a small simulated
+# study, ask it about one known-weak and one known-clean corpus key (via
+# /v1/exemplars, so the test needs no corpus file), reject a malformed
+# submission, and assert the serving telemetry is populated.
+set -eu
+
+TMP="$(mktemp -d)"
+trap 'kill "$KS_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/keyserverd" ./cmd/keyserverd
+
+# -listen :0 avoids port collisions; the chosen address is parsed from
+# the startup log line.
+"$TMP/keyserverd" -scale 0.05 -bits 128 -subsets 3 -listen 127.0.0.1:0 \
+    >"$TMP/stdout" 2>"$TMP/stderr" &
+KS_PID=$!
+
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR="$(sed -n 's#.*keycheck API on http://\([^/]*\)/v1/check.*#\1#p' "$TMP/stderr" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$KS_PID" 2>/dev/null || { echo "keyserver-smoke: keyserverd exited before serving" >&2; cat "$TMP/stderr" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "keyserver-smoke: never saw the API address" >&2; cat "$TMP/stderr" >&2; exit 1; }
+
+# Pull known-answer keys out of the served corpus.
+curl -sf "http://$ADDR/v1/exemplars?n=4" >"$TMP/exemplars" \
+    || { echo "keyserver-smoke: /v1/exemplars failed" >&2; exit 1; }
+WEAK="$(sed -n 's/.*"factored":\["\([0-9a-f]*\)".*/\1/p' "$TMP/exemplars")"
+CLEAN="$(sed -n 's/.*"clean":\["\([0-9a-f]*\)".*/\1/p' "$TMP/exemplars")"
+[ -n "$WEAK" ] || { echo "keyserver-smoke: no factored exemplar" >&2; cat "$TMP/exemplars" >&2; exit 1; }
+[ -n "$CLEAN" ] || { echo "keyserver-smoke: no clean exemplar" >&2; cat "$TMP/exemplars" >&2; exit 1; }
+
+# A known-weak corpus key must come back factored, with its factors.
+curl -sf -X POST -d "{\"modulus_hex\":\"$WEAK\"}" "http://$ADDR/v1/check" >"$TMP/weak"
+grep -q '"status":"factored"' "$TMP/weak" \
+    || { echo "keyserver-smoke: weak key not factored" >&2; cat "$TMP/weak" >&2; exit 1; }
+grep -q '"factor_p_hex"' "$TMP/weak" \
+    || { echo "keyserver-smoke: factored verdict missing factors" >&2; cat "$TMP/weak" >&2; exit 1; }
+
+# A clean corpus key must come back clean but known.
+curl -sf -X POST -d "{\"modulus_hex\":\"$CLEAN\"}" "http://$ADDR/v1/check" >"$TMP/clean"
+grep -q '"status":"clean"' "$TMP/clean" \
+    || { echo "keyserver-smoke: clean key not clean" >&2; cat "$TMP/clean" >&2; exit 1; }
+grep -q '"known":true' "$TMP/clean" \
+    || { echo "keyserver-smoke: corpus key not recognized as known" >&2; cat "$TMP/clean" >&2; exit 1; }
+
+# Malformed submissions are a 400, not a 500.
+CODE="$(curl -s -o "$TMP/bad" -w '%{http_code}' -X POST -d '{"modulus_hex":"nothex"}' "http://$ADDR/v1/check")"
+[ "$CODE" = "400" ] || { echo "keyserver-smoke: malformed submission got HTTP $CODE" >&2; cat "$TMP/bad" >&2; exit 1; }
+
+# /v1/stats and /metrics must reflect the checks just served.
+curl -sf "http://$ADDR/v1/stats" | grep -q '"index"' \
+    || { echo "keyserver-smoke: /v1/stats malformed" >&2; exit 1; }
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics"
+for METRIC in 'keycheck_checks_total{verdict="factored"}' \
+              'keycheck_checks_total{verdict="clean"}' \
+              'keycheck_http_requests_total{code="200"}' \
+              'keycheck_http_requests_total{code="400"}' \
+              'keycheck_index_moduli' 'keycheck_shard_moduli'; do
+    grep -q "$METRIC" "$TMP/metrics" \
+        || { echo "keyserver-smoke: /metrics missing $METRIC" >&2; cat "$TMP/metrics" >&2; exit 1; }
+done
+
+kill "$KS_PID" 2>/dev/null || true
+wait "$KS_PID" 2>/dev/null || true
+
+# Graceful shutdown must have drained, not aborted.
+grep -q 'drained' "$TMP/stderr" \
+    || { echo "keyserver-smoke: no graceful drain on SIGTERM" >&2; cat "$TMP/stderr" >&2; exit 1; }
+
+echo "keyserver smoke ok (weak+clean+malformed verdicts correct at $ADDR)"
