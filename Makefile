@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke bench-telemetry bench-keyserver
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke bench-telemetry bench-keyserver bench-ingest
 
 # ci is the full gate: compile everything, vet, run the test suite under
 # the race detector (which includes every fault-injection test), smoke-
@@ -53,6 +53,12 @@ keyserver-smoke:
 # BENCH_keyserver.json (p50/p99 latency, checks/sec; floor 1000/sec).
 bench-keyserver:
 	sh ./scripts/bench-keyserver.sh
+
+# bench-ingest times Snapshot.Ingest of a 5% delta against the full
+# batch-GCD + rebuild pipeline at ~20k moduli and writes
+# BENCH_ingest.json (floor: 5x speedup for the incremental path).
+bench-ingest:
+	sh ./scripts/bench-ingest.sh
 
 # bench-telemetry guards the instrumentation hot path: counter Add and
 # histogram Observe must stay in the low nanoseconds (fixed iteration

@@ -1,0 +1,242 @@
+// Command ingestbench measures incremental corpus ingestion against the
+// full index rebuild it replaces. It synthesizes a corpus of 128-bit
+// RSA moduli (a small fraction sharing primes, as in the paper's
+// population), splits off a delta, and times:
+//
+//   - full:   batch GCD over the whole corpus, factor recovery, then
+//     keycheck.Build from scratch — the paper's re-run-everything loop
+//   - ingest: Snapshot.Ingest of the delta into the existing index
+//
+// Both paths end at the same place: a snapshot with complete verdicts
+// (including factors) for every corpus modulus. The ingest path probes
+// the delta against the existing per-shard products, runs a delta-local
+// batch GCD, and extends only the touched product trees — so it should
+// beat the full rebuild by a wide margin.
+// Results land in a JSON report (see -json) with the measured speedup;
+// scripts/bench-ingest.sh enforces the >=5x acceptance floor.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/scanstore"
+)
+
+type report struct {
+	CorpusModuli     int     `json:"corpus_moduli"`
+	DeltaModuli      int     `json:"delta_moduli"`
+	Shards           int     `json:"shards"`
+	Runs             int     `json:"runs"`
+	FullBuildSeconds float64 `json:"full_build_seconds"`
+	IngestSeconds    float64 `json:"ingest_seconds"`
+	Speedup          float64 `json:"speedup"`
+	TouchedShards    int     `json:"touched_shards"`
+	NodesReused      int     `json:"nodes_reused"`
+	NodesBuilt       int     `json:"nodes_built"`
+	NewFactored      int     `json:"new_factored"`
+	Refactored       int     `json:"refactored"`
+}
+
+func main() {
+	var (
+		nModuli   = flag.Int("moduli", 20000, "corpus size in distinct moduli")
+		deltaFrac = flag.Float64("delta", 0.05, "fraction of the corpus arriving as the delta")
+		shards    = flag.Int("shards", keycheck.DefaultShards, "index shard count")
+		seed      = flag.Int64("seed", 2016, "corpus generation seed")
+		runs      = flag.Int("runs", 3, "timed repetitions (best run is reported)")
+		jsonOut   = flag.String("json", "", "write the JSON report to this file (default stdout)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "ingestbench:", err)
+		os.Exit(1)
+	}
+
+	deltaN := int(float64(*nModuli) * *deltaFrac)
+	if deltaN < 1 || deltaN >= *nModuli {
+		fatal(fmt.Errorf("delta fraction %v leaves no base or no delta", *deltaFrac))
+	}
+
+	logf("generating %d moduli (%d delta) from seed %d...", *nModuli, deltaN, *seed)
+	start := time.Now()
+	mods := generateCorpus(rand.New(rand.NewSource(*seed)), *nModuli)
+	base, delta := mods[:*nModuli-deltaN], mods[*nModuli-deltaN:]
+	fullStore := storeFor(mods)
+	baseStore := storeFor(base)
+	deltaStore := storeFor(delta)
+	logf("corpus ready in %v", time.Since(start).Round(time.Millisecond))
+
+	// fullPipeline is everything a restart pays today: batch GCD across
+	// the whole corpus, factor recovery, and a from-scratch index build.
+	ctx := context.Background()
+	fullPipeline := func() (*keycheck.Snapshot, error) {
+		results, err := batchgcd.FactorCtx(ctx, mods)
+		if err != nil {
+			return nil, err
+		}
+		fp := &fingerprint.Result{Factors: make(map[string]fingerprint.Factors, len(results))}
+		for _, r := range results {
+			n := mods[r.Index]
+			if r.Divisor.Cmp(n) == 0 {
+				continue // clique divisor; Build treats it as unrecovered
+			}
+			p, q, err := batchgcd.SplitModulus(n, r.Divisor)
+			if err != nil {
+				continue
+			}
+			fp.Factors[string(n.Bytes())] = fingerprint.Factors{P: p, Q: q}
+		}
+		return keycheck.Build(ctx, keycheck.BuildInput{Store: fullStore, Fingerprint: fp, Shards: *shards})
+	}
+
+	fullBest := time.Duration(0)
+	var fullFactored int
+	for r := 0; r < *runs; r++ {
+		t0 := time.Now()
+		snap, err := fullPipeline()
+		if err != nil {
+			fatal(err)
+		}
+		d := time.Since(t0)
+		if fullBest == 0 || d < fullBest {
+			fullBest = d
+		}
+		fullFactored = snap.Factored()
+		logf("full gcd+build %d/%d: %v (%d factored)", r+1, *runs, d.Round(time.Millisecond), snap.Factored())
+	}
+
+	// The base index is last month's completed analysis: batch GCD over
+	// the base corpus, factors recovered, index built. Untimed — the
+	// incremental path inherits it instead of redoing it.
+	baseResults, err := batchgcd.FactorCtx(ctx, base)
+	if err != nil {
+		fatal(err)
+	}
+	baseFP := &fingerprint.Result{Factors: make(map[string]fingerprint.Factors, len(baseResults))}
+	for _, r := range baseResults {
+		n := base[r.Index]
+		if r.Divisor.Cmp(n) == 0 {
+			continue
+		}
+		p, q, err := batchgcd.SplitModulus(n, r.Divisor)
+		if err != nil {
+			continue
+		}
+		baseFP.Factors[string(n.Bytes())] = fingerprint.Factors{P: p, Q: q}
+	}
+	old, err := keycheck.Build(ctx, keycheck.BuildInput{Store: baseStore, Fingerprint: baseFP, Shards: *shards})
+	if err != nil {
+		fatal(err)
+	}
+
+	ingestBest := time.Duration(0)
+	var rep keycheck.IngestReport
+	for r := 0; r < *runs; r++ {
+		t0 := time.Now()
+		snap, ir, err := old.Ingest(ctx, keycheck.BuildInput{Store: deltaStore})
+		if err != nil {
+			fatal(err)
+		}
+		d := time.Since(t0)
+		if got := snap.Factored(); got != fullFactored {
+			fatal(fmt.Errorf("ingest snapshot factored %d moduli, full pipeline factored %d", got, fullFactored))
+		}
+		if ingestBest == 0 || d < ingestBest {
+			ingestBest, rep = d, ir
+		}
+		logf("ingest %d/%d: %v (%d novel, %d factored, %d fold-backs, %d/%d shards touched)",
+			r+1, *runs, d.Round(time.Millisecond), ir.DeltaModuli, ir.NewFactored, ir.Refactored,
+			ir.TouchedShards, len(ir.Shards))
+	}
+
+	out := report{
+		CorpusModuli:     *nModuli,
+		DeltaModuli:      deltaN,
+		Shards:           *shards,
+		Runs:             *runs,
+		FullBuildSeconds: fullBest.Seconds(),
+		IngestSeconds:    ingestBest.Seconds(),
+		Speedup:          fullBest.Seconds() / ingestBest.Seconds(),
+		TouchedShards:    rep.TouchedShards,
+		NodesReused:      rep.NodesReused,
+		NodesBuilt:       rep.NodesBuilt,
+		NewFactored:      rep.NewFactored,
+		Refactored:       rep.Refactored,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+	logf("full build %v, ingest %v: %.1fx", fullBest.Round(time.Millisecond),
+		ingestBest.Round(time.Millisecond), out.Speedup)
+}
+
+// generateCorpus returns n distinct 128-bit semiprimes. About 1% share
+// a prime with another modulus — half of those pairs straddle the
+// base/delta boundary so the ingest pays for mate fold-back too.
+func generateCorpus(rng *rand.Rand, n int) []*big.Int {
+	prime := func() *big.Int {
+		for {
+			p := new(big.Int).SetUint64(rng.Uint64() | 1<<63 | 1)
+			if p.ProbablyPrime(0) {
+				return p
+			}
+		}
+	}
+	mods := make([]*big.Int, 0, n)
+	seen := make(map[string]bool, n)
+	add := func(m *big.Int) {
+		key := string(m.Bytes())
+		if !seen[key] {
+			seen[key] = true
+			mods = append(mods, m)
+		}
+	}
+	weak := n / 100
+	for len(mods) < weak {
+		shared := prime()
+		add(new(big.Int).Mul(shared, prime()))
+		add(new(big.Int).Mul(shared, prime()))
+	}
+	for len(mods) < n {
+		add(new(big.Int).Mul(prime(), prime()))
+	}
+	// Shuffle so the shared-prime mates scatter across the base/delta
+	// split and across shards.
+	rng.Shuffle(len(mods), func(i, j int) { mods[i], mods[j] = mods[j], mods[i] })
+	return mods[:n]
+}
+
+func storeFor(mods []*big.Int) *scanstore.Store {
+	st := scanstore.New()
+	when := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i, m := range mods {
+		st.AddBareKeyObservation(fmt.Sprintf("192.0.2.%d", i%250), when, scanstore.SourceCensys, scanstore.HTTPS, m)
+	}
+	return st
+}

@@ -8,6 +8,8 @@
 //
 //	POST /v1/check      JSON {"modulus_hex": "..."} (or cert_pem /
 //	                    cert_der, or a raw PEM body) → verdict
+//	POST /v1/ingest     JSON {"moduli_hex": [...]} → fold new moduli into
+//	                    the live index without a restart (-allow-ingest)
 //	GET  /v1/stats      index, cache and limiter statistics
 //	GET  /v1/exemplars  known factored/clean corpus keys for smoke tests
 //	/metrics            Prometheus exposition  /debug/vars  JSON vars
@@ -16,7 +18,8 @@
 //
 //	keyserverd -scale 0.05 -bits 128 -listen 127.0.0.1:8446
 //	keyserverd -load corpus.gob -rate 100 -burst 200
-//	kill -HUP <pid>   # re-analyze and atomically swap in a new snapshot
+//	kill -HUP <pid>   # with -load: ingest the corpus file's delta;
+//	                  # with -rebuild-full (or simulate mode): full rebuild
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-
 // flight checks finish, then the process exits.
@@ -57,6 +60,8 @@ func main() {
 		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		saveTo    = flag.String("save", "", "save the simulated corpus to a file (for keyload -corpus)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		fullHup   = flag.Bool("rebuild-full", false, "SIGHUP re-analyzes from scratch instead of ingesting the corpus delta")
+		ingestOK  = flag.Bool("allow-ingest", true, "serve POST /v1/ingest (live index updates)")
 	)
 	flag.Parse()
 
@@ -138,6 +143,7 @@ func main() {
 	})
 	limiter := keycheck.NewRateLimiter(*rate, *burst)
 	api := keycheck.NewAPI(svc, limiter, reg)
+	api.SetAllowIngest(*ingestOK)
 
 	// One mux serves the check API and the diagnostics endpoints, so a
 	// single scrape target covers verdict counters, latency histograms
@@ -159,12 +165,44 @@ func main() {
 	}()
 	logf("keycheck API on http://%s/v1/check (stats /v1/stats, metrics /metrics)", ln.Addr())
 
-	// SIGHUP re-analyzes and swaps the snapshot atomically; readers are
-	// never blocked and the verdict cache is invalidated.
+	// SIGHUP folds new corpus data into the live index. The default path
+	// with -load re-reads the corpus file and ingests it as a delta —
+	// moduli already indexed are deduplicated positionally, only novel
+	// ones pay for GCD work, and untouched shards are shared with the
+	// predecessor snapshot. -rebuild-full (and the simulate mode, whose
+	// deterministic corpus has no external delta source) re-runs the full
+	// analysis instead. Either way the swap is atomic: readers are never
+	// blocked and the verdict cache is invalidated.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
+			if !*fullHup && *loadFrom != "" {
+				logf("SIGHUP: ingesting corpus delta from %s...", *loadFrom)
+				f, err := os.Open(*loadFrom)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "keyserverd: reload failed, keeping current snapshot:", err)
+					continue
+				}
+				store, err := scanstore.Load(f)
+				f.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "keyserverd: reload failed, keeping current snapshot:", err)
+					continue
+				}
+				rep, err := svc.Ingest(ctx, keycheck.BuildInput{Store: store, Shards: *shards})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "keyserverd: ingest failed, keeping current snapshot:", err)
+					continue
+				}
+				cur := svc.Index().Snapshot()
+				logf("delta ingested in %v: %d novel moduli (%d factored, %d fold-backs), %d duplicates; "+
+					"%d/%d shards touched, %d tree nodes reused; serving %d moduli (%d factored)",
+					rep.Elapsed.Round(time.Millisecond), rep.DeltaModuli, rep.NewFactored, rep.Refactored,
+					rep.Duplicates, rep.TouchedShards, len(rep.Shards), rep.NodesReused,
+					cur.Moduli(), cur.Factored())
+				continue
+			}
 			logf("SIGHUP: rebuilding index...")
 			next, err := buildSnapshot()
 			if err != nil {

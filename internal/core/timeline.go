@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/keycheck"
+)
+
+// TimelineEntry is one scan date's point-in-time check index.
+type TimelineEntry struct {
+	Date time.Time
+	// Snapshot answers "what would the check service have said after
+	// this scan landed?" — it indexes every observation up to and
+	// including Date.
+	Snapshot *keycheck.Snapshot
+	// Report is the ingest ledger for this date's delta.
+	Report keycheck.IngestReport
+}
+
+// SnapshotTimeline replays the study's scan dates through the
+// incremental-ingest path: starting from an empty index, each date's
+// observations are folded in as a delta, yielding one queryable
+// snapshot per scan. This is the longitudinal serving loop — the paper
+// re-ran its batch GCD on every monthly snapshot; here month N+1 costs
+// only its delta, with each snapshot sharing untouched shards and
+// product-tree prefixes with its predecessor.
+//
+// Primes are discovered as the replay reaches them (a key is "weak" only
+// once its mate has been observed), so early snapshots legitimately call
+// clean what the full study later factors. Vendor labels come from the
+// study's fingerprint pass. shards <= 0 selects keycheck.DefaultShards.
+func SnapshotTimeline(ctx context.Context, study *Study, shards int) ([]TimelineEntry, error) {
+	if study == nil || study.Store == nil {
+		return nil, fmt.Errorf("core: timeline: nil study or store")
+	}
+	if shards <= 0 {
+		shards = keycheck.DefaultShards
+	}
+	// Labels only: handing Ingest the study's factor table would leak
+	// future GCD results into past snapshots. Each month must rediscover
+	// shared primes from what it has seen so far.
+	var labels *fingerprint.Result
+	if study.Fingerprint != nil {
+		labels = &fingerprint.Result{Labels: study.Fingerprint.Labels}
+	}
+	snap := keycheck.Empty(shards)
+	dates := study.Store.ScanDates("")
+	out := make([]TimelineEntry, 0, len(dates))
+	for _, d := range dates {
+		delta := study.Store.DeltaOn(d, "")
+		next, rep, err := snap.Ingest(ctx, keycheck.BuildInput{
+			Store:       delta,
+			Fingerprint: labels,
+			Shards:      shards,
+		})
+		if err != nil {
+			return out, fmt.Errorf("core: timeline %s: %w", d.Format("2006-01-02"), err)
+		}
+		snap = next
+		out = append(out, TimelineEntry{Date: d, Snapshot: snap, Report: rep})
+	}
+	if reg := study.Opts.Telemetry; reg != nil && len(out) > 0 {
+		reg.Gauge("core_timeline_snapshots").Set(float64(len(out)))
+		last := out[len(out)-1]
+		reg.Gauge("core_timeline_final_moduli").Set(float64(last.Snapshot.Moduli()))
+		reg.Gauge("core_timeline_final_factored").Set(float64(last.Snapshot.Factored()))
+	}
+	return out, nil
+}

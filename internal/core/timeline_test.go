@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/keycheck"
+)
+
+// TestSnapshotTimeline replays the shared study through the incremental
+// path and cross-checks the terminal snapshot against the study's own
+// batch GCD: folding the corpus in date by date must converge on the
+// same factored set the one-shot run finds.
+func TestSnapshotTimeline(t *testing.T) {
+	s := testStudy(t)
+	entries, err := SnapshotTimeline(context.Background(), s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dates := s.Store.ScanDates("")
+	if len(entries) != len(dates) {
+		t.Fatalf("%d entries for %d scan dates", len(entries), len(dates))
+	}
+
+	prevModuli := 0
+	reusedSomewhere := false
+	for i, e := range entries {
+		if !e.Date.Equal(dates[i]) {
+			t.Fatalf("entry %d: date %v, want %v", i, e.Date, dates[i])
+		}
+		if got := e.Snapshot.Moduli(); got < prevModuli {
+			t.Fatalf("entry %d: moduli shrank %d -> %d", i, prevModuli, got)
+		} else {
+			prevModuli = got
+		}
+		if i > 0 && e.Report.NodesReused > 0 {
+			reusedSomewhere = true
+		}
+	}
+	if !reusedSomewhere {
+		t.Error("no entry after the first reused any product-tree nodes")
+	}
+
+	// Terminal equivalence: every modulus the study's batch GCD factored
+	// must be factored in the final snapshot, and the totals must agree —
+	// the incremental path found exactly the shared-prime set, no more.
+	final := entries[len(entries)-1].Snapshot
+	moduli, _ := s.Store.DistinctModuli()
+	if got := final.Moduli(); got != len(moduli) {
+		t.Errorf("final snapshot has %d moduli, corpus has %d", got, len(moduli))
+	}
+	factoredIdx := make(map[int]bool, len(s.Factored))
+	for _, r := range s.Factored {
+		factoredIdx[r.Index] = true
+	}
+	for idx := range factoredIdx {
+		if v := final.Check(moduli[idx]); v.Status != keycheck.StatusFactored || !v.Known {
+			t.Fatalf("modulus %d factored by the study but %q/%v in the final snapshot",
+				idx, v.Status, v.Known)
+		}
+	}
+	if got := final.Factored(); got != len(factoredIdx) {
+		t.Errorf("final snapshot factored %d, study factored %d", got, len(factoredIdx))
+	}
+	// Spot-check the complement: a modulus the GCD did not factor stays
+	// clean but known.
+	for idx := range moduli {
+		if !factoredIdx[idx] {
+			if v := final.Check(moduli[idx]); v.Status != keycheck.StatusClean || !v.Known {
+				t.Fatalf("unfactored modulus %d = %q/%v, want clean/known", idx, v.Status, v.Known)
+			}
+			break
+		}
+	}
+}

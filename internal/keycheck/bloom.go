@@ -7,12 +7,14 @@ import "hash/fnv"
 // never observed by any scan (and routes the check straight to the GCD
 // path); a positive answer is confirmed against the exact maps. Filters
 // are built once per snapshot and never mutated, so reads need no
-// locking.
+// locking; an ingest either clones a filter (copy-on-write, while the
+// delta still fits its sizing) or rebuilds it larger.
 type bloomFilter struct {
 	bits  []uint64
 	m     uint64 // number of bits
 	k     int    // hash functions
 	items int
+	sized int // item count the filter was sized for
 }
 
 // bloomBitsPerItem gives ~1% false positives with k = 7 — ample, since a
@@ -33,7 +35,26 @@ func newBloom(n int) *bloomFilter {
 	if m < 64 {
 		m = 64
 	}
-	return &bloomFilter{bits: make([]uint64, (m+63)/64), m: m, k: bloomHashes}
+	return &bloomFilter{bits: make([]uint64, (m+63)/64), m: m, k: bloomHashes, sized: n}
+}
+
+// clone returns a mutable copy sharing nothing with f, so an ingest can
+// add the delta keys without touching the filter still being read
+// through the published predecessor snapshot. Cloning a nil filter
+// yields nil.
+func (f *bloomFilter) clone() *bloomFilter {
+	if f == nil {
+		return nil
+	}
+	c := *f
+	c.bits = append([]uint64(nil), f.bits...)
+	return &c
+}
+
+// fits reports whether the filter's sizing still covers n items at the
+// designed false-positive rate.
+func (f *bloomFilter) fits(n int) bool {
+	return f != nil && n <= f.sized
 }
 
 // hashPair derives the two FNV hashes that seed double hashing

@@ -9,7 +9,10 @@ import (
 // serving workload is heavy-tailed — the same embedded device keys are
 // checked over and over — so a small cache absorbs most of the GCD
 // path. Entries are invalidated wholesale on snapshot swap (the verdict
-// may change when new results fold in).
+// may change when new results fold in), and each entry carries the
+// generation of the snapshot it was computed against: a check that
+// straddles a swap would otherwise insert its stale verdict after the
+// purge, where it could be served until the next swap.
 type verdictCache struct {
 	mu    sync.Mutex
 	max   int
@@ -19,6 +22,7 @@ type verdictCache struct {
 
 type cacheEntry struct {
 	key string
+	gen uint64
 	v   Verdict
 }
 
@@ -31,7 +35,10 @@ func newVerdictCache(max int) *verdictCache {
 	return &verdictCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-func (c *verdictCache) get(key string) (Verdict, bool) {
+// get returns the cached verdict for key, provided it was computed
+// against snapshot generation wantGen. A generation mismatch — an entry
+// raced in around a swap — evicts the entry and misses.
+func (c *verdictCache) get(key string, wantGen uint64) (Verdict, bool) {
 	if c == nil {
 		return Verdict{}, false
 	}
@@ -41,22 +48,30 @@ func (c *verdictCache) get(key string) (Verdict, bool) {
 	if !ok {
 		return Verdict{}, false
 	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != wantGen {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return Verdict{}, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).v, true
+	return e.v, true
 }
 
-func (c *verdictCache) put(key string, v Verdict) {
+// put caches v as computed against snapshot generation gen.
+func (c *verdictCache) put(key string, gen uint64, v Verdict) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).v = v
+		e := el.Value.(*cacheEntry)
+		e.gen, e.v = gen, v
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, v: v})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, v: v})
 	if c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

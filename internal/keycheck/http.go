@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/factorable/weakkeys/internal/scanstore"
 	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
@@ -61,17 +62,29 @@ type API struct {
 	limiter *RateLimiter
 	reg     *telemetry.Registry
 
+	// allowIngest gates POST /v1/ingest (on by default; an operator
+	// exposing the checker publicly turns the write path off).
+	allowIngest bool
+
 	requestSeconds *telemetry.Histogram
 	rateLimited    *telemetry.Counter
 }
 
+// SetAllowIngest enables or disables POST /v1/ingest. Call before
+// serving.
+func (a *API) SetAllowIngest(allow bool) { a.allowIngest = allow }
+
 // NewAPI wires a Service to HTTP. limiter may be nil (no rate limit);
 // reg may be nil (no HTTP telemetry).
 func NewAPI(svc *Service, limiter *RateLimiter, reg *telemetry.Registry) *API {
+	if limiter != nil {
+		limiter.evictions = reg.Counter("keycheck_ratelimit_evictions_total")
+	}
 	return &API{
 		svc:            svc,
 		limiter:        limiter,
 		reg:            reg,
+		allowIngest:    true,
 		requestSeconds: reg.Histogram("keycheck_http_request_seconds", telemetry.DurationBuckets),
 		rateLimited:    reg.Counter("keycheck_ratelimited_total"),
 	}
@@ -80,11 +93,13 @@ func NewAPI(svc *Service, limiter *RateLimiter, reg *telemetry.Registry) *API {
 // Mux returns the API routes:
 //
 //	POST /v1/check      check one modulus or certificate
+//	POST /v1/ingest     fold new moduli into the live index
 //	GET  /v1/stats      index, cache and limiter statistics
 //	GET  /v1/exemplars  known factored/clean corpus keys (?n=8)
 func (a *API) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", a.handleCheck)
+	mux.HandleFunc("/v1/ingest", a.handleIngest)
 	mux.HandleFunc("/v1/stats", a.handleStats)
 	mux.HandleFunc("/v1/exemplars", a.handleExemplars)
 	return mux
@@ -125,6 +140,72 @@ func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.writeJSON(w, http.StatusOK, v)
+}
+
+// ingestRequest is the JSON envelope for POST /v1/ingest: new moduli to
+// fold into the live index without a restart.
+type ingestRequest struct {
+	ModuliHex []string `json:"moduli_hex"`
+}
+
+// maxIngestModuli bounds one ingest request; bigger deltas belong in
+// delta segments fed through SIGHUP.
+const maxIngestModuli = 4096
+
+func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { a.requestSeconds.ObserveDuration(time.Since(start)) }()
+	if r.Method != http.MethodPost {
+		a.writeError(w, http.StatusMethodNotAllowed, errors.New("keycheck: POST only"))
+		return
+	}
+	if !a.allowIngest {
+		a.writeError(w, http.StatusForbidden, errors.New("keycheck: ingest disabled on this server"))
+		return
+	}
+	if !a.limiter.Allow(clientKey(r)) {
+		a.rateLimited.Inc()
+		w.Header().Set("Retry-After", "1")
+		a.writeError(w, http.StatusTooManyRequests, errors.New("keycheck: rate limit exceeded"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
+		return
+	}
+	var req ingestRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
+		return
+	}
+	if len(req.ModuliHex) == 0 {
+		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: moduli_hex is empty", ErrMalformed))
+		return
+	}
+	if len(req.ModuliHex) > maxIngestModuli {
+		a.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: %d moduli exceeds the per-request limit of %d", ErrMalformed, len(req.ModuliHex), maxIngestModuli))
+		return
+	}
+	// All-or-nothing: a malformed modulus rejects the request before the
+	// merge starts, so a partially-applied delta can't exist.
+	store := scanstore.New()
+	now := time.Now().UTC()
+	for i, hex := range req.ModuliHex {
+		n, err := ParseModulusHex(hex)
+		if err != nil {
+			a.writeError(w, http.StatusBadRequest, fmt.Errorf("moduli_hex[%d]: %w", i, err))
+			return
+		}
+		store.AddBareKeyObservation(clientKey(r), now, scanstore.SourceCensys, scanstore.HTTPS, n)
+	}
+	rep, err := a.svc.Ingest(r.Context(), BuildInput{Store: store})
+	if err != nil {
+		a.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	a.writeJSON(w, http.StatusOK, rep)
 }
 
 // parseSubmission accepts the JSON envelope or a raw PEM body.

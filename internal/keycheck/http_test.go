@@ -2,8 +2,10 @@ package keycheck
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/big"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -297,5 +299,100 @@ func TestCachedVerdict(t *testing.T) {
 	}
 	if got := reg.CounterValue(`keycheck_checks_total{verdict="factored"}`); got != 2 {
 		t.Errorf("factored verdict counter = %d, want 2", got)
+	}
+}
+
+// TestIngestEndpoint drives the live-update path over HTTP: a novel
+// weak pair flips from clean to factored without a rebuild, a replay
+// counts only duplicates, malformed and oversized requests are
+// rejected atomically, and the endpoint can be disabled.
+func TestIngestEndpoint(t *testing.T) {
+	reg := telemetry.New()
+	api, svc := newTestAPI(t, nil, reg)
+	mux := api.Mux()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body))
+		req.RemoteAddr = "192.0.2.7:4242"
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, req)
+		return rr
+	}
+
+	// A fresh weak pair: both still clean before the ingest.
+	w1 := new(big.Int).Mul(s4, s5)
+	w2 := new(big.Int).Mul(s4, s6)
+	if v, _ := svc.Check(context.Background(), w1); v.Status != StatusClean {
+		t.Fatalf("pre-ingest w1 = %+v", v)
+	}
+
+	rr := post(fmt.Sprintf(`{"moduli_hex":["%s","%s"]}`, w1.Text(16), w2.Text(16)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rr.Code, rr.Body)
+	}
+	var rep IngestReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaModuli != 2 || rep.NewFactored != 2 {
+		t.Errorf("report %+v, want 2 delta / 2 factored", rep)
+	}
+	if v, _ := svc.Check(context.Background(), w1); v.Status != StatusFactored || !v.Known {
+		t.Errorf("post-ingest w1 = %+v, want factored/known", v)
+	}
+	if got := reg.CounterValue(`keycheck_ingest_total{outcome="ok"}`); got != 1 {
+		t.Errorf(`keycheck_ingest_total{outcome="ok"} = %d`, got)
+	}
+	if got := reg.CounterValue("keycheck_ingest_factored_total"); got != 2 {
+		t.Errorf("keycheck_ingest_factored_total = %d", got)
+	}
+
+	// Replaying the same delta: nothing new, no snapshot swap.
+	swaps := svc.Index().Swaps()
+	rr = post(fmt.Sprintf(`{"moduli_hex":["%s"]}`, w1.Text(16)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("replay: %d %s", rr.Code, rr.Body)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != 1 || rep.DeltaModuli != 0 {
+		t.Errorf("replay report %+v, want 1 duplicate", rep)
+	}
+	if svc.Index().Swaps() != swaps {
+		t.Error("duplicate-only ingest published a snapshot")
+	}
+
+	// A malformed modulus rejects the whole request: nothing applied.
+	before := svc.Index().Snapshot()
+	rr = post(fmt.Sprintf(`{"moduli_hex":["%s","nothex"]}`, new(big.Int).Mul(s2, s3).Text(16)))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("malformed batch: %d, want 400", rr.Code)
+	}
+	if svc.Index().Snapshot() != before {
+		t.Error("malformed batch partially applied")
+	}
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"empty list", `{"moduli_hex":[]}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+	} {
+		if rr := post(tc.body); rr.Code != tc.want {
+			t.Errorf("%s: %d, want %d", tc.name, rr.Code, tc.want)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/ingest", nil)
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d, want 405", rr.Code)
+	}
+
+	api.SetAllowIngest(false)
+	if rr := post(fmt.Sprintf(`{"moduli_hex":["%s"]}`, w1.Text(16))); rr.Code != http.StatusForbidden {
+		t.Errorf("disabled ingest: %d, want 403", rr.Code)
 	}
 }

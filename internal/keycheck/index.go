@@ -26,29 +26,68 @@ type Entry struct {
 
 // shard holds one hash partition of the corpus: a Bloom filter over
 // every modulus observed in the partition, the exact map of factored
-// moduli behind it, and the partition's modulus product for the GCD
-// path. All fields are immutable after Build.
+// moduli behind it, and the partition's product tree for the GCD path.
+// All fields are immutable after Build/Ingest; Ingest replaces touched
+// shards wholesale and shares untouched ones by reference.
 type shard struct {
 	bloom    *bloomFilter
 	factored map[string]Entry
-	product  *big.Int
-	moduli   int
+	// tree is the shard's modulus product tree. Keeping the whole tree
+	// (not just the root) is what lets Ingest extend it incrementally:
+	// prodtree.Extend reuses every node whose subtree gained no new
+	// leaf, and the leaf level doubles as the shard's exact membership
+	// list.
+	tree   *prodtree.Tree
+	moduli int
 	// cleanSample holds a few non-factored member keys for
 	// Snapshot.Exemplars (smoke tests and load generators need known
 	// clean corpus members without shipping the whole corpus).
 	cleanSample []string
 }
 
+// product returns the shard's modulus product, or nil for an empty shard.
+func (sh *shard) product() *big.Int {
+	if sh.tree == nil {
+		return nil
+	}
+	return sh.tree.Root()
+}
+
 // exemplarSample bounds the per-shard clean-key sample.
 const exemplarSample = 32
 
 // Snapshot is an immutable, queryable index over one corpus. Snapshots
-// are built once, published through an Index, and shared by any number
-// of concurrent readers without locking.
+// are built once (Build) or derived from a predecessor (Ingest),
+// published through an Index, and shared by any number of concurrent
+// readers without locking.
 type Snapshot struct {
 	shards   []*shard
 	moduli   int
 	factored int
+	// gen is a process-unique generation stamp. Verdict caches tag
+	// entries with it so a verdict computed against one snapshot can
+	// never be served as current after a swap to another.
+	gen uint64
+}
+
+// snapGen issues process-unique snapshot generations.
+var snapGen atomic.Uint64
+
+// Generation returns the snapshot's process-unique generation stamp.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Empty returns a snapshot over no corpus at all: every check answers
+// clean/novel. It is the seed of a pure-ingest pipeline — the
+// longitudinal loop starts Empty and folds in one month at a time.
+func Empty(shards int) *Snapshot {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	snap := &Snapshot{shards: make([]*shard, shards), gen: snapGen.Add(1)}
+	for i := range snap.shards {
+		snap.shards[i] = &shard{factored: make(map[string]Entry)}
+	}
+	return snap
 }
 
 // DefaultShards is the Build default; the sweet spot at simulation scale
@@ -79,7 +118,7 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 		nShards = DefaultShards
 	}
 	moduli, keys := in.Store.DistinctModuli()
-	snap := &Snapshot{shards: make([]*shard, nShards), moduli: len(moduli)}
+	snap := &Snapshot{shards: make([]*shard, nShards), moduli: len(moduli), gen: snapGen.Add(1)}
 	byShard := make([][]*big.Int, nShards)
 	for i := range snap.shards {
 		snap.shards[i] = &shard{factored: make(map[string]Entry)}
@@ -143,7 +182,7 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 				errs[si] = fmt.Errorf("keycheck: build shard %d: %w", si, err)
 				return
 			}
-			sh.product = tree.Root()
+			sh.tree = tree
 		}(si)
 	}
 	wg.Wait()
@@ -189,10 +228,11 @@ func (s *Snapshot) Check(n *big.Int) Verdict {
 	var proper *big.Int // a proper divisor of n, if any shard yields one
 	r := new(big.Int)
 	for si, sh := range s.shards {
-		if sh.product == nil {
+		product := sh.product()
+		if product == nil {
 			continue
 		}
-		r.Mod(sh.product, n)
+		r.Mod(product, n)
 		if r.Sign() == 0 {
 			// n divides the shard product outright. For the home shard
 			// with a Bloom hit that means n is a corpus member: batch
@@ -285,8 +325,8 @@ func (s *Snapshot) Stats() SnapshotStats {
 	st := SnapshotStats{Moduli: s.moduli, Factored: s.factored}
 	for _, sh := range s.shards {
 		ss := ShardStats{Moduli: sh.moduli, Factored: len(sh.factored)}
-		if sh.product != nil {
-			ss.ProductBits = sh.product.BitLen()
+		if p := sh.product(); p != nil {
+			ss.ProductBits = p.BitLen()
 		}
 		st.Shards = append(st.Shards, ss)
 	}

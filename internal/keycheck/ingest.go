@@ -1,0 +1,486 @@
+package keycheck
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/prodtree"
+)
+
+// ShardIngest is the per-shard ledger of one Ingest: how many moduli and
+// factored entries the shard gained, and how much of its product tree
+// survived by reference. A Reused == Total shard with Shared set rode
+// along untouched — the whole shard object is the predecessor's.
+type ShardIngest struct {
+	Shard       int  `json:"shard"`
+	NewModuli   int  `json:"new_moduli"`
+	NewFactored int  `json:"new_factored"`
+	NodesReused int  `json:"nodes_reused"`
+	NodesTotal  int  `json:"nodes_total"`
+	Shared      bool `json:"shared"`
+}
+
+// IngestReport summarizes one incremental ingest.
+type IngestReport struct {
+	// DeltaModuli is the count of distinct delta moduli not already in
+	// the corpus; Duplicates is how many the corpus already indexed.
+	DeltaModuli int `json:"delta_moduli"`
+	Duplicates  int `json:"duplicates"`
+	// NewFactored counts delta moduli that entered the index factored
+	// (they share a prime inside the delta or with the old corpus).
+	NewFactored int `json:"new_factored"`
+	// Refactored counts pre-existing corpus members that were clean
+	// before and became factored because a delta modulus shares one of
+	// their primes — the "When RSA Fails" fold-back.
+	Refactored int `json:"refactored"`
+	// TouchedShards is how many shards were replaced; the remaining
+	// shards of the new snapshot are the predecessor's, by reference.
+	TouchedShards int `json:"touched_shards"`
+	// NodesReused / NodesBuilt partition the new snapshot's product-tree
+	// nodes into ones shared with the predecessor and ones multiplied
+	// fresh — the structural-sharing ratio the per-shard telemetry
+	// gauges expose.
+	NodesReused int           `json:"nodes_reused"`
+	NodesBuilt  int           `json:"nodes_built"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	Shards      []ShardIngest `json:"shards"`
+}
+
+// shardDelta accumulates what one shard gains from an ingest.
+type shardDelta struct {
+	newKeys    []string
+	newMods    []*big.Int
+	newEntries map[string]Entry
+}
+
+func (d *shardDelta) entry(key string, e Entry) {
+	if d.newEntries == nil {
+		d.newEntries = make(map[string]Entry)
+	}
+	d.newEntries[key] = e
+}
+
+// Ingest folds a delta corpus into the snapshot and returns the merged
+// successor without rebuilding the untouched parts: the paper's monthly
+// re-run of the full batch GCD becomes, online, (a) one GCD pass of
+// each new modulus against the existing per-shard products, (b) a small
+// batch GCD among the delta alone, and (c) a structural merge that
+// extends each touched shard's product tree up its right spine
+// (prodtree.Extend) while untouched shards are shared by reference.
+//
+// Both prime-sharing directions are handled: a delta modulus sharing a
+// prime with the old corpus is factored on the spot, and the old member
+// it shares with — clean until now — is re-labeled factored too, so the
+// member-implies-factored-or-clean invariant of Check survives.
+//
+// in.Store carries the delta observations (required); in.Fingerprint,
+// when set, contributes known factorizations and vendor labels for
+// delta moduli. in.Shards must be zero or match the snapshot. The
+// receiver is never modified and stays fully usable.
+func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, IngestReport, error) {
+	start := time.Now()
+	var rep IngestReport
+	if in.Store == nil {
+		return nil, rep, fmt.Errorf("keycheck: ingest: nil store")
+	}
+	if in.Shards != 0 && in.Shards != len(s.shards) {
+		return nil, rep, fmt.Errorf("keycheck: ingest: shard count %d does not match snapshot's %d (re-sharding needs a full rebuild)",
+			in.Shards, len(s.shards))
+	}
+	nShards := len(s.shards)
+
+	// Partition the delta into novel moduli and already-known
+	// duplicates. The exact membership list of a shard is its product
+	// tree's leaf level; only shards that actually receive delta keys
+	// pay for materializing it as a set.
+	moduli, keys := in.Store.DistinctModuli()
+	members := make([]map[string]bool, nShards)
+	memberSet := func(si int) map[string]bool {
+		if members[si] == nil {
+			set := make(map[string]bool)
+			if t := s.shards[si].tree; t != nil {
+				for _, leaf := range t.Leaves() {
+					set[string(leaf.Bytes())] = true
+				}
+			}
+			members[si] = set
+		}
+		return members[si]
+	}
+	deltas := make([]*shardDelta, nShards)
+	for i := range deltas {
+		deltas[i] = &shardDelta{}
+	}
+	var novelMods []*big.Int
+	var novelKeys []string
+	for i, key := range keys {
+		si := shardOf(key, nShards)
+		if memberSet(si)[key] {
+			rep.Duplicates++
+			continue
+		}
+		novelMods = append(novelMods, moduli[i])
+		novelKeys = append(novelKeys, key)
+		deltas[si].newKeys = append(deltas[si].newKeys, key)
+		deltas[si].newMods = append(deltas[si].newMods, moduli[i])
+	}
+	rep.DeltaModuli = len(novelMods)
+	if len(novelMods) == 0 {
+		// Nothing new: the snapshot is already the merge.
+		rep.Elapsed = time.Since(start)
+		return s, rep, nil
+	}
+
+	// (b) Delta-internal batch GCD: primes shared among the new moduli
+	// themselves (a fresh batch of devices from the same flawed
+	// firmware) never touch the old products.
+	deltaDiv := make(map[int]*big.Int) // novel index -> divisor
+	if len(novelMods) > 1 {
+		res, err := batchgcd.FactorCtx(ctx, novelMods)
+		if err != nil {
+			return nil, rep, fmt.Errorf("keycheck: ingest: delta batch GCD: %w", err)
+		}
+		for _, r := range res {
+			deltaDiv[r.Index] = r.Divisor
+		}
+	}
+
+	// (a) Each novel modulus against every existing shard product, via
+	// one remainder tree of the delta per shard: gcd(N, P mod N) =
+	// gcd(N, P) exposes the primes N shares with the shard without ever
+	// forming P/N. Shards run concurrently, like Build. Alongside, each
+	// shard scans its own leaves against the divisors it yielded to find
+	// the old members being shared with (the mates to re-label).
+	type mate struct {
+		shard   int
+		key     string
+		mod     *big.Int
+		divisor *big.Int
+	}
+	shardGCD := make([]map[int]*big.Int, nShards) // shard -> novel idx -> gi
+	mates := make([][]mate, nShards)
+	errs := make([]error, nShards)
+	dt, err := prodtree.NewCtx(ctx, novelMods)
+	if err != nil {
+		return nil, rep, fmt.Errorf("keycheck: ingest: delta tree: %w", err)
+	}
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		if s.shards[si].tree == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := s.shards[si]
+			rems, err := dt.RemainderTreeCtx(ctx, sh.product())
+			if err != nil {
+				errs[si] = fmt.Errorf("keycheck: ingest shard %d: %w", si, err)
+				return
+			}
+			var gis []*big.Int
+			for j, rem := range rems {
+				n := novelMods[j]
+				var gi *big.Int
+				if rem.Sign() == 0 {
+					// n divides the whole shard product: every prime of
+					// n lives in this shard.
+					gi = n
+				} else {
+					gi = new(big.Int).GCD(nil, nil, n, rem)
+					if gi.Cmp(one) <= 0 {
+						continue
+					}
+				}
+				if shardGCD[si] == nil {
+					shardGCD[si] = make(map[int]*big.Int)
+				}
+				shardGCD[si][j] = gi
+				gis = append(gis, gi)
+			}
+			if len(gis) == 0 {
+				return
+			}
+			// Mate scan: which existing members of this shard share a
+			// prime with the delta? Only shards that yielded a divisor
+			// pay for it, and only with small GCDs.
+			g := new(big.Int)
+			for _, leaf := range sh.tree.Leaves() {
+				for _, gi := range gis {
+					g.GCD(nil, nil, leaf, gi)
+					if g.Cmp(one) > 0 && g.Cmp(leaf) < 0 {
+						mates[si] = append(mates[si], mate{
+							shard: si, key: string(leaf.Bytes()),
+							mod: leaf, divisor: new(big.Int).Set(g),
+						})
+						break
+					}
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+
+	// Resolve factorizations. pool accumulates every prime recovered
+	// during this ingest, to split the degenerate divisor == N cases.
+	var pool []*big.Int
+	splitEntry := func(n, d *big.Int) (Entry, bool) {
+		p, q, err := batchgcd.SplitModulus(n, d)
+		if err != nil {
+			return Entry{}, false
+		}
+		pool = append(pool, p, q)
+		return Entry{P: p, Q: q}, true
+	}
+
+	// Old members being shared with become factored: their mate divisor
+	// is always proper (a delta modulus equal to a member would have
+	// been a duplicate).
+	for si := range mates {
+		for _, m := range mates[si] {
+			if _, done := s.shards[si].factored[m.key]; done {
+				continue
+			}
+			if _, done := deltas[si].newEntries[m.key]; done {
+				continue
+			}
+			if e, ok := splitEntry(m.mod, m.divisor); ok {
+				deltas[si].entry(m.key, e)
+				rep.Refactored++
+			}
+		}
+	}
+
+	// Novel moduli with at least one divisor become factored. Known
+	// factorizations from the delta's own fingerprint run are taken
+	// as-is; otherwise the first proper divisor splits the modulus, and
+	// degenerate cases (every divisor equals N: both primes shared)
+	// fall back to the recovered-prime pool and finally to a pairwise
+	// GCD among the still-unresolved delta moduli (the clique case).
+	var knownFactors map[string]struct{ p, q *big.Int }
+	if in.Fingerprint != nil {
+		knownFactors = make(map[string]struct{ p, q *big.Int }, len(in.Fingerprint.Factors))
+		for key, f := range in.Fingerprint.Factors {
+			knownFactors[key] = struct{ p, q *big.Int }{f.P, f.Q}
+		}
+	}
+	resolved := make([]*Entry, len(novelMods))
+	var unresolved []int
+	for j, n := range novelMods {
+		var divs []*big.Int
+		for si := range shardGCD {
+			if gi := shardGCD[si][j]; gi != nil {
+				divs = append(divs, gi)
+			}
+		}
+		if d := deltaDiv[j]; d != nil {
+			divs = append(divs, d)
+		}
+		if f, ok := knownFactors[novelKeys[j]]; ok {
+			e := Entry{P: f.p, Q: f.q}
+			pool = append(pool, f.p, f.q)
+			resolved[j] = &e
+			continue
+		}
+		if len(divs) == 0 {
+			continue // clean member
+		}
+		var proper *big.Int
+		for _, d := range divs {
+			if d.Cmp(n) < 0 {
+				proper = d
+				break
+			}
+		}
+		if proper == nil {
+			unresolved = append(unresolved, j)
+			continue
+		}
+		if e, ok := splitEntry(n, proper); ok {
+			resolved[j] = &e
+		} else {
+			unresolved = append(unresolved, j)
+		}
+	}
+	if len(unresolved) > 0 {
+		// Pairwise fallback over the small unresolved set only: for a
+		// clique (every modulus shares both primes) each pair shares
+		// exactly one prime, so the pairwise divisors are proper.
+		sub := make([]*big.Int, len(unresolved))
+		for i, j := range unresolved {
+			sub[i] = novelMods[j]
+		}
+		pairDiv := make(map[int]*big.Int)
+		if len(sub) > 1 {
+			if res, err := batchgcd.FactorPairwise(sub); err == nil {
+				for _, r := range res {
+					pairDiv[r.Index] = r.Divisor
+				}
+			}
+		}
+		fromPool := func(n *big.Int) *big.Int {
+			g := new(big.Int)
+			for _, p := range pool {
+				g.GCD(nil, nil, n, p)
+				if g.Cmp(one) > 0 && g.Cmp(n) < 0 {
+					return new(big.Int).Set(g)
+				}
+			}
+			return s.recoverDivisor(n)
+		}
+		for i, j := range unresolved {
+			n := novelMods[j]
+			d := pairDiv[i]
+			if d == nil || d.Cmp(n) >= 0 {
+				d = fromPool(n)
+			}
+			if d == nil {
+				continue // unsplittable; stays a plain member
+			}
+			if e, ok := splitEntry(n, d); ok {
+				resolved[j] = &e
+			}
+		}
+	}
+	for j, e := range resolved {
+		if e == nil {
+			continue
+		}
+		key := novelKeys[j]
+		deltas[shardOf(key, nShards)].entry(key, *e)
+		rep.NewFactored++
+	}
+
+	// Vendor labels ride along for delta moduli whose certificates the
+	// delta fingerprint labeled, mirroring Build.
+	if in.Fingerprint != nil {
+		for _, d := range deltas {
+			for key, e := range d.newEntries {
+				for _, c := range in.Store.CertsWithModulus(key) {
+					fp, err := c.Fingerprint()
+					if err != nil {
+						continue
+					}
+					if lbl, ok := in.Fingerprint.Labels[fp]; ok {
+						e.Vendor, e.Attribution = lbl.Vendor, lbl.Method.String()
+						d.newEntries[key] = e
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// (c) Structural merge: untouched shards are shared by reference;
+	// touched shards get a copy-on-write factored map, an Extend-ed
+	// product tree (new leaves multiplied up the right spine only), and
+	// a cloned-or-regrown Bloom filter.
+	ns := &Snapshot{
+		shards:   make([]*shard, nShards),
+		moduli:   s.moduli + len(novelMods),
+		factored: s.factored,
+		gen:      snapGen.Add(1),
+	}
+	rep.Shards = make([]ShardIngest, nShards)
+	for si := range s.shards {
+		old, d := s.shards[si], deltas[si]
+		sr := &rep.Shards[si]
+		sr.Shard = si
+		if len(d.newMods) == 0 && len(d.newEntries) == 0 {
+			ns.shards[si] = old
+			sr.Shared = true
+			sr.NodesReused = old.tree.Nodes()
+			sr.NodesTotal = sr.NodesReused
+			rep.NodesReused += sr.NodesReused
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, rep, fmt.Errorf("keycheck: ingest merge cancelled at shard %d: %w", si, err)
+		}
+		nsh := &shard{moduli: old.moduli + len(d.newMods)}
+		nsh.factored = make(map[string]Entry, len(old.factored)+len(d.newEntries))
+		for key, e := range old.factored {
+			nsh.factored[key] = e
+		}
+		for key, e := range d.newEntries {
+			nsh.factored[key] = e
+		}
+		ns.factored += len(nsh.factored) - len(old.factored)
+		if len(d.newMods) > 0 {
+			tree, err := prodtree.ExtendCtx(ctx, old.tree, d.newMods)
+			if err != nil {
+				return nil, rep, fmt.Errorf("keycheck: ingest shard %d: %w", si, err)
+			}
+			nsh.tree = tree
+			nsh.bloom = extendBloom(old.bloom, nsh.tree, d.newKeys, nsh.moduli)
+		} else {
+			// Only re-labeled members: the membership structures are
+			// untouched and stay shared.
+			nsh.tree = old.tree
+			nsh.bloom = old.bloom
+		}
+		// A member promoted to factored must leave the clean-exemplar
+		// sample; novel clean keys top it back up.
+		for _, key := range old.cleanSample {
+			if _, now := nsh.factored[key]; !now {
+				nsh.cleanSample = append(nsh.cleanSample, key)
+			}
+		}
+		for _, key := range d.newKeys {
+			if len(nsh.cleanSample) >= exemplarSample {
+				break
+			}
+			if _, f := nsh.factored[key]; !f {
+				nsh.cleanSample = append(nsh.cleanSample, key)
+			}
+		}
+		ns.shards[si] = nsh
+		rep.TouchedShards++
+		sr.NewModuli = len(d.newMods)
+		sr.NewFactored = len(d.newEntries)
+		sr.NodesTotal = nsh.tree.Nodes()
+		if nsh.tree == old.tree {
+			sr.NodesReused = sr.NodesTotal
+		} else {
+			sr.NodesReused = prodtree.SharedNodes(old.tree, nsh.tree)
+		}
+		rep.NodesReused += sr.NodesReused
+		rep.NodesBuilt += sr.NodesTotal - sr.NodesReused
+	}
+	rep.Elapsed = time.Since(start)
+	return ns, rep, nil
+}
+
+// extendBloom returns the filter for a shard that gained newKeys. While
+// the grown shard still fits the old filter's sizing the filter is
+// cloned and the new keys added; once outgrown it is rebuilt over every
+// leaf with doubling headroom, so repeated small ingests settle into
+// cheap clone-and-add.
+func extendBloom(old *bloomFilter, tree *prodtree.Tree, newKeys []string, total int) *bloomFilter {
+	if old.fits(total) {
+		f := old.clone()
+		for _, key := range newKeys {
+			f.add(key)
+		}
+		return f
+	}
+	size := total * 2
+	if old != nil && old.sized*2 > size {
+		size = old.sized * 2
+	}
+	f := newBloom(size)
+	f.sized = size
+	for _, leaf := range tree.Leaves() {
+		f.add(string(leaf.Bytes()))
+	}
+	return f
+}

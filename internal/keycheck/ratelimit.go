@@ -3,6 +3,8 @@ package keycheck
 import (
 	"sync"
 	"time"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 // RateLimiter is a per-client token bucket: each client key (the HTTP
@@ -11,12 +13,13 @@ import (
 // unmetered — the paper's ethics section withheld exactly this data —
 // so the limiter is on by default in cmd/keyserverd.
 type RateLimiter struct {
-	mu      sync.Mutex
-	rate    float64 // tokens per second
-	burst   float64
-	max     int // tracked-client bound
-	buckets map[string]*tokenBucket
-	now     func() time.Time
+	mu        sync.Mutex
+	rate      float64 // tokens per second
+	burst     float64
+	max       int // tracked-client bound
+	buckets   map[string]*tokenBucket
+	now       func() time.Time
+	evictions *telemetry.Counter // forced (non-idle) evictions; nil-safe
 }
 
 type tokenBucket struct {
@@ -75,15 +78,30 @@ func (l *RateLimiter) Allow(client string) bool {
 	return true
 }
 
-// sweepLocked drops buckets that have refilled to burst — an idle
-// client's bucket is indistinguishable from a fresh one, so evicting it
-// never changes behaviour. If every client is active the map grows past
-// max rather than throttling the innocent.
+// sweepLocked enforces the tracked-client bound. First pass: drop
+// buckets that have refilled to burst — an idle client's bucket is
+// indistinguishable from a fresh one, so evicting it never changes
+// behaviour. If every client is still active (the address-spraying
+// case: an attacker cycling source addresses keeps every bucket warm),
+// buckets are force-evicted stalest-first until the map is back under
+// max; each forced eviction is counted, since it can briefly re-grant a
+// throttled client its burst.
 func (l *RateLimiter) sweepLocked(now time.Time) {
 	for key, b := range l.buckets {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.buckets, key)
 		}
+	}
+	for len(l.buckets) >= l.max {
+		var stalest string
+		var stalestAt time.Time
+		for key, b := range l.buckets {
+			if stalest == "" || b.last.Before(stalestAt) {
+				stalest, stalestAt = key, b.last
+			}
+		}
+		delete(l.buckets, stalest)
+		l.evictions.Inc()
 	}
 }
 

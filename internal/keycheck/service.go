@@ -73,11 +73,21 @@ type Service struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// ingestMu serializes ingests: each folds the delta into the
+	// snapshot it loaded, so two running concurrently would each publish
+	// a successor missing the other's moduli.
+	ingestMu sync.Mutex
+
 	checkSeconds  *telemetry.Histogram
 	cacheHits     *telemetry.Counter
 	cacheMisses   *telemetry.Counter
 	inflightGauge *telemetry.Gauge
 	verdicts      map[Status]*telemetry.Counter
+
+	// prePutHook, when set by tests, runs between computing a verdict
+	// and inserting it into the cache — the window the generation tag
+	// protects against a concurrent Publish.
+	prePutHook func()
 }
 
 // NewService publishes snap and returns a serving wrapper around it.
@@ -161,8 +171,15 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 		}
 	}
 
+	// The whole check — cache probe, index lookup, cache insert — is
+	// pinned to one snapshot, and cache traffic is tagged with its
+	// generation. Without the tag, a check that computes its verdict
+	// against the pre-swap snapshot and loses the race with Publish's
+	// purge would insert a stale verdict afterwards, to be served until
+	// the next swap.
+	snap := s.idx.Snapshot()
 	key := string(n.Bytes())
-	if v, ok := s.cache.get(key); ok {
+	if v, ok := s.cache.get(key, snap.Generation()); ok {
 		s.cacheHits.Inc()
 		v.Cached = true
 		s.verdicts[v.Status].Inc()
@@ -202,11 +219,48 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 	}
 
 	start := time.Now()
-	v := s.idx.Check(n)
+	v := snap.Check(n)
 	s.checkSeconds.ObserveDuration(time.Since(start))
 	s.verdicts[v.Status].Inc()
-	s.cache.put(key, v)
+	if s.prePutHook != nil {
+		s.prePutHook()
+	}
+	s.cache.put(key, snap.Generation(), v)
 	return v, nil
+}
+
+// Ingest folds a delta corpus into the live snapshot and publishes the
+// merged successor (see Snapshot.Ingest). Checks are never blocked: the
+// merge happens off to the side and lands via the same atomic swap as
+// Publish. Ingests are serialized against each other; an ingest that
+// finds nothing new publishes nothing.
+func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	reg := s.cfg.Metrics
+	start := time.Now()
+	snap := s.idx.Snapshot()
+	ns, rep, err := snap.Ingest(ctx, in)
+	reg.Histogram("keycheck_ingest_seconds", telemetry.DurationBuckets).ObserveDuration(time.Since(start))
+	if err != nil {
+		reg.Counter(`keycheck_ingest_total{outcome="error"}`).Inc()
+		return rep, err
+	}
+	reg.Counter(`keycheck_ingest_total{outcome="ok"}`).Inc()
+	reg.Counter("keycheck_ingest_moduli_total").Add(int64(rep.DeltaModuli))
+	reg.Counter("keycheck_ingest_duplicates_total").Add(int64(rep.Duplicates))
+	reg.Counter("keycheck_ingest_factored_total").Add(int64(rep.NewFactored))
+	reg.Counter("keycheck_ingest_refactored_total").Add(int64(rep.Refactored))
+	if reg != nil {
+		for _, sr := range rep.Shards {
+			reg.Gauge(fmt.Sprintf(`keycheck_shard_nodes_reused{shard="%d"}`, sr.Shard)).Set(float64(sr.NodesReused))
+			reg.Gauge(fmt.Sprintf(`keycheck_shard_nodes_total{shard="%d"}`, sr.Shard)).Set(float64(sr.NodesTotal))
+		}
+	}
+	if ns != snap {
+		s.Publish(ns)
+	}
+	return rep, nil
 }
 
 // Drain stops admitting new checks and blocks until every in-flight

@@ -300,3 +300,54 @@ func buildBenchSnapshot() (*Snapshot, error) {
 	store.AddBareKeyObservation("10.0.0.2", when, scanstore.SourceRapid7, scanstore.SSH, modN1)
 	return Build(context.Background(), BuildInput{Store: store, Shards: 4})
 }
+
+// TestStaleVerdictNotCachedAcrossSwap pins the swap/insert race: a check
+// computes its verdict against the pre-swap snapshot, then Publish swaps
+// and purges, then the check inserts. Untagged, that stale verdict would
+// be served from cache until the next swap; generation tagging makes the
+// next check recompute against the new snapshot.
+func TestStaleVerdictNotCachedAcrossSwap(t *testing.T) {
+	full := goldenSnapshot(t, 2)
+
+	// Same corpus with no factorizations: N1 flips factored -> clean.
+	store := scanstore.New()
+	store.AddBareKeyObservation("10.0.0.1", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN1)
+	store.AddBareKeyObservation("10.0.0.2", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN2)
+	store.AddBareKeyObservation("10.0.0.3", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN3)
+	lost, err := Build(context.Background(), BuildInput{Store: store, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := NewService(full, Config{})
+	ctx := context.Background()
+	fired := false
+	svc.prePutHook = func() {
+		if !fired {
+			fired = true
+			svc.Publish(lost)
+		}
+	}
+
+	// Computed against `full` (factored), inserted after the swap+purge.
+	v, err := svc.Check(ctx, modN1)
+	if err != nil || v.Status != StatusFactored {
+		t.Fatalf("first check = %+v, %v, want factored off the old snapshot", v, err)
+	}
+	if !fired {
+		t.Fatal("hook did not fire")
+	}
+	// Must recompute against `lost`, not serve the stale insert.
+	v, err = svc.Check(ctx, modN1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cached || v.Status != StatusClean {
+		t.Fatalf("post-swap check = %+v, want uncached clean (stale factored verdict served)", v)
+	}
+	// And the recomputed verdict is cached under the new generation.
+	v, err = svc.Check(ctx, modN1)
+	if err != nil || !v.Cached || v.Status != StatusClean {
+		t.Fatalf("third check = %+v, %v, want cached clean", v, err)
+	}
+}

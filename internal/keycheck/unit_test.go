@@ -6,6 +6,8 @@ import (
 	"math/big"
 	"testing"
 	"time"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 func TestBloomNoFalseNegatives(t *testing.T) {
@@ -48,25 +50,25 @@ func TestVerdictCacheLRU(t *testing.T) {
 	vb := Verdict{Status: StatusClean, ModulusBits: 2}
 	vc := Verdict{Status: StatusFactored, ModulusBits: 3}
 
-	c.put("a", va)
-	c.put("b", vb)
-	c.put("c", vc) // evicts a, the least recently used
-	if _, ok := c.get("a"); ok {
+	c.put("a", 1, va)
+	c.put("b", 1, vb)
+	c.put("c", 1, vc) // evicts a, the least recently used
+	if _, ok := c.get("a", 1); ok {
 		t.Error("a survived eviction")
 	}
-	if v, ok := c.get("b"); !ok || v.ModulusBits != 2 {
+	if v, ok := c.get("b", 1); !ok || v.ModulusBits != 2 {
 		t.Error("b lost")
 	}
-	c.put("d", va) // b was just touched, so c is evicted
-	if _, ok := c.get("c"); ok {
+	c.put("d", 1, va) // b was just touched, so c is evicted
+	if _, ok := c.get("c", 1); ok {
 		t.Error("c survived eviction after b was touched")
 	}
-	if _, ok := c.get("b"); !ok {
+	if _, ok := c.get("b", 1); !ok {
 		t.Error("recently used b evicted")
 	}
 
-	c.put("b", vc) // update in place, no growth
-	if v, _ := c.get("b"); v.Status != StatusFactored {
+	c.put("b", 1, vc) // update in place, no growth
+	if v, _ := c.get("b", 1); v.Status != StatusFactored {
 		t.Error("update lost")
 	}
 	if c.len() != 2 {
@@ -80,14 +82,35 @@ func TestVerdictCacheLRU(t *testing.T) {
 
 func TestVerdictCacheNil(t *testing.T) {
 	for _, c := range []*verdictCache{newVerdictCache(0), newVerdictCache(-1)} {
-		c.put("k", Verdict{})
-		if _, ok := c.get("k"); ok {
+		c.put("k", 1, Verdict{})
+		if _, ok := c.get("k", 1); ok {
 			t.Error("nil cache hit")
 		}
 		if c.len() != 0 {
 			t.Error("nil cache has length")
 		}
 		c.purge()
+	}
+}
+
+// TestVerdictCacheGeneration: an entry tagged with one snapshot
+// generation misses — and is evicted — when probed under another.
+func TestVerdictCacheGeneration(t *testing.T) {
+	c := newVerdictCache(4)
+	c.put("k", 1, Verdict{Status: StatusFactored})
+	if v, ok := c.get("k", 1); !ok || v.Status != StatusFactored {
+		t.Fatal("same-generation hit lost")
+	}
+	if _, ok := c.get("k", 2); ok {
+		t.Fatal("cross-generation entry served")
+	}
+	if c.len() != 0 {
+		t.Errorf("stale entry not evicted: len %d", c.len())
+	}
+	// Re-put under the new generation wins.
+	c.put("k", 2, Verdict{Status: StatusClean})
+	if v, ok := c.get("k", 2); !ok || v.Status != StatusClean {
+		t.Error("new-generation entry lost")
 	}
 }
 
@@ -197,5 +220,36 @@ func TestParseModulusHex(t *testing.T) {
 func TestParseCertDERGarbage(t *testing.T) {
 	if _, err := ParseCertDER([]byte("junk")); !errors.Is(err, ErrMalformed) {
 		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestRateLimiterHardCap is the regression test for unbounded bucket
+// growth: when every tracked client is actively throttled (nothing idle
+// for the sweep to reclaim — an attacker cycling source addresses), the
+// limiter force-evicts the stalest bucket instead of growing past max,
+// and counts each forced eviction.
+func TestRateLimiterHardCap(t *testing.T) {
+	reg := telemetry.New()
+	l := NewRateLimiter(0.001, 1) // refill so slow no bucket ever looks idle
+	now := time.Unix(3_000_000, 0)
+	l.now = func() time.Time { return now }
+	l.max = 8
+	l.evictions = reg.Counter("keycheck_ratelimit_evictions_total")
+
+	for i := 0; i < 1000; i++ {
+		client := fmt.Sprintf("198.51.100.%d", i)
+		l.Allow(client) // consumes the single burst token
+		l.Allow(client) // denied: bucket stays hot
+		if got := l.Clients(); got > l.max {
+			t.Fatalf("client %d: tracked %d buckets, cap %d", i, got, l.max)
+		}
+		now = now.Add(time.Millisecond) // distinct timestamps: eviction is stalest-first
+	}
+	if got := reg.CounterValue("keycheck_ratelimit_evictions_total"); got < 1000-int64(l.max) {
+		t.Errorf("forced evictions = %d, want >= %d", got, 1000-l.max)
+	}
+	// The most recent clients — the freshest buckets — must have survived.
+	if l.Allow("198.51.100.999") {
+		t.Error("freshest throttled client's bucket was evicted (burst re-granted)")
 	}
 }

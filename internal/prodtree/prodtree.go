@@ -71,6 +71,99 @@ func NewCtx(ctx context.Context, vals []*big.Int) (*Tree, error) {
 	return t, nil
 }
 
+// Extend returns the product tree over t's leaves followed by newLeaves,
+// reusing every node of t whose subtree is unaffected by the extension.
+// Only the right spine — the nodes whose subtree gained at least one new
+// leaf — is recomputed; at each level the unchanged prefix is shared with
+// t by reference. This is the incremental-ingest primitive: folding a
+// monthly delta into an existing corpus product costs O(log n) spine
+// multiplications plus a tree over the delta, instead of rebuilding the
+// whole tree from scratch.
+//
+// t is never modified; a nil or empty t builds a fresh tree. The shared
+// nodes make the returned tree an overlay over t: both trees stay valid,
+// and neither may have its node values mutated.
+func Extend(t *Tree, newLeaves []*big.Int) (*Tree, error) {
+	return ExtendCtx(context.Background(), t, newLeaves)
+}
+
+// ExtendCtx is Extend with cancellation, checked per tree level like
+// NewCtx.
+func ExtendCtx(ctx context.Context, t *Tree, newLeaves []*big.Int) (*Tree, error) {
+	if t == nil || len(t.Levels) == 0 || len(t.Levels[0]) == 0 {
+		return NewCtx(ctx, newLeaves)
+	}
+	if len(newLeaves) == 0 {
+		return t, nil
+	}
+	old := t.Levels[0]
+	leaves := make([]*big.Int, 0, len(old)+len(newLeaves))
+	leaves = append(append(leaves, old...), newLeaves...)
+	nt := &Tree{Levels: [][]*big.Int{leaves}}
+	// shared is the length of the prefix of the current level that is
+	// identical to t's same level: parents of fully-old pairs stay valid,
+	// so the prefix halves per level while everything to its right — the
+	// spine absorbing the new leaves — is recomputed.
+	shared := len(old)
+	for cur := leaves; len(cur) > 1; {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prodtree: extend cancelled at level %d: %w", len(nt.Levels), err)
+		}
+		shared /= 2
+		lvl := len(nt.Levels)
+		if lvl >= len(t.Levels) {
+			shared = 0
+		}
+		next := make([]*big.Int, (len(cur)+1)/2)
+		if shared > 0 {
+			copy(next[:shared], t.Levels[lvl][:shared])
+		}
+		parallelFor(len(next)-shared, func(i int) {
+			j := shared + i
+			if 2*j+1 < len(cur) {
+				next[j] = new(big.Int).Mul(cur[2*j], cur[2*j+1])
+			} else {
+				next[j] = cur[2*j]
+			}
+		})
+		nt.Levels = append(nt.Levels, next)
+		cur = next
+	}
+	return nt, nil
+}
+
+// Nodes returns the total node count across all levels (leaves included).
+func (t *Tree) Nodes() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, level := range t.Levels {
+		n += len(level)
+	}
+	return n
+}
+
+// SharedNodes counts the nodes of b that are shared with a by reference
+// (same *big.Int), level-aligned from the leaves up. It quantifies the
+// structural sharing Extend achieves: an unchanged subtree contributes
+// all of its nodes, a rebuilt spine none.
+func SharedNodes(a, b *Tree) int {
+	if a == nil || b == nil {
+		return 0
+	}
+	shared := 0
+	for lvl := 0; lvl < len(a.Levels) && lvl < len(b.Levels); lvl++ {
+		av, bv := a.Levels[lvl], b.Levels[lvl]
+		for i := 0; i < len(av) && i < len(bv); i++ {
+			if av[i] == bv[i] {
+				shared++
+			}
+		}
+	}
+	return shared
+}
+
 // Root returns the product of all leaves. The returned value is shared
 // with the tree and must not be modified.
 func (t *Tree) Root() *big.Int {

@@ -239,6 +239,111 @@ func TestParallelForMultiWorker(t *testing.T) {
 	}
 }
 
+// TestExtendMatchesFullBuild grows trees leaf-batch by leaf-batch and
+// checks every level against a from-scratch build over the same leaves.
+func TestExtendMatchesFullBuild(t *testing.T) {
+	for _, tc := range []struct{ old, add int }{
+		{1, 1}, {1, 7}, {2, 2}, {3, 1}, {4, 4}, {5, 3}, {5, 8},
+		{7, 1}, {16, 16}, {17, 5}, {33, 9}, {100, 5}, {100, 100},
+	} {
+		vals := randInts(int64(tc.old*1000+tc.add), tc.old+tc.add, 64)
+		base, err := New(vals[:tc.old])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := Extend(base, vals[tc.old:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := New(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ext.Levels) != len(full.Levels) {
+			t.Fatalf("old=%d add=%d: extend has %d levels, full %d", tc.old, tc.add, len(ext.Levels), len(full.Levels))
+		}
+		for lvl := range full.Levels {
+			if len(ext.Levels[lvl]) != len(full.Levels[lvl]) {
+				t.Fatalf("old=%d add=%d level %d: %d nodes, want %d",
+					tc.old, tc.add, lvl, len(ext.Levels[lvl]), len(full.Levels[lvl]))
+			}
+			for i := range full.Levels[lvl] {
+				if ext.Levels[lvl][i].Cmp(full.Levels[lvl][i]) != 0 {
+					t.Fatalf("old=%d add=%d: node (%d,%d) differs from full build", tc.old, tc.add, lvl, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExtendSharesStructure asserts Extend reuses the unaffected left
+// part of the base tree by reference and never mutates the base.
+func TestExtendSharesStructure(t *testing.T) {
+	vals := randInts(42, 64+8, 64)
+	base, err := New(vals[:64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRoot := new(big.Int).Set(base.Root())
+	ext, err := Extend(base, vals[64:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 old leaves, 8 new: shared prefix halves per level
+	// (64, 32, 16, 8, 4, 2, 1, then the old tree is exhausted).
+	wantShared := 64 + 32 + 16 + 8 + 4 + 2 + 1
+	if got := SharedNodes(base, ext); got != wantShared {
+		t.Errorf("SharedNodes = %d, want %d", got, wantShared)
+	}
+	if ext.Nodes() <= wantShared {
+		t.Errorf("Nodes() = %d, must exceed the shared count", ext.Nodes())
+	}
+	if base.Root().Cmp(baseRoot) != 0 {
+		t.Error("Extend mutated the base tree's root")
+	}
+	if len(base.Leaves()) != 64 {
+		t.Errorf("base leaves grew to %d", len(base.Leaves()))
+	}
+}
+
+func TestExtendEdgeCases(t *testing.T) {
+	vals := randInts(7, 6, 64)
+	base, err := New(vals[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty extension returns the base unchanged.
+	same, err := Extend(base, nil)
+	if err != nil || same != base {
+		t.Errorf("Extend(base, nil) = %v, %v; want the base tree itself", same, err)
+	}
+	// Nil base is a fresh build.
+	fresh, err := Extend(nil, vals[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := New(vals[3:])
+	if fresh.Root().Cmp(full.Root()) != 0 {
+		t.Error("Extend(nil, leaves) root differs from New")
+	}
+	// Nil base and no leaves is the usual empty error.
+	if _, err := Extend(nil, nil); err != ErrEmpty {
+		t.Errorf("Extend(nil, nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestExtendCtxCancelled(t *testing.T) {
+	base, err := New(randInts(9, 32, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExtendCtx(ctx, base, randInts(10, 8, 64)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExtendCtx err = %v, want wrapped context.Canceled", err)
+	}
+}
+
 func TestNewCtxCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

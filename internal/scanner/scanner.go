@@ -265,8 +265,31 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments, budge
 		if !sleepCtx(ctx, jitter.jitter(backoff)) {
 			return res
 		}
-		backoff *= 2
+		backoff = doubleBackoff(backoff, maxBackoff(o))
 	}
+}
+
+// maxBackoff bounds one retry sleep: never longer than the per-attempt
+// timeout (a retry pause exceeding the probe itself only starves the
+// worker), with a 1s floor so aggressive sub-second timeouts still get
+// a meaningful pause.
+func maxBackoff(o Options) time.Duration {
+	if o.Timeout > time.Second {
+		return o.Timeout
+	}
+	return time.Second
+}
+
+// doubleBackoff is the exponential step, saturating at cap and immune
+// to overflow: left uncapped, repeated doubling wraps negative after
+// ~40 retries of the 25ms default, and a negative sleep turns the
+// backoff into a hot retry loop against an already-struggling target.
+func doubleBackoff(d, cap time.Duration) time.Duration {
+	d *= 2
+	if d > cap || d <= 0 {
+		return cap
+	}
+	return d
 }
 
 // scanAttempt performs a single dial + handshake (+ optional heartbeat

@@ -228,3 +228,41 @@ func TestScanProgressHook(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffCapped is the regression test for the unbounded-doubling
+// bug: backoff *= 2 with no ceiling wrapped negative after enough
+// retries and, before that, grew a single target's retry schedule past
+// any scan deadline. The capped schedule's total sleep is bounded by
+// attempts x max(Timeout, 1s) even before jitter.
+func TestBackoffCapped(t *testing.T) {
+	o := Options{Timeout: 3 * time.Second, RetryBackoff: 25 * time.Millisecond}
+	cap := maxBackoff(o)
+	if cap != 3*time.Second {
+		t.Fatalf("maxBackoff = %v, want Timeout", cap)
+	}
+	// Sub-second timeouts keep a 1s pause floor.
+	if got := maxBackoff(Options{Timeout: 50 * time.Millisecond}); got != time.Second {
+		t.Fatalf("maxBackoff floor = %v, want 1s", got)
+	}
+
+	var total time.Duration
+	backoff := o.RetryBackoff
+	const retries = 100 // far past the ~40 doublings that used to overflow
+	for i := 0; i < retries; i++ {
+		if backoff <= 0 {
+			t.Fatalf("retry %d: non-positive backoff %v", i, backoff)
+		}
+		if backoff > cap {
+			t.Fatalf("retry %d: backoff %v exceeds cap %v", i, backoff, cap)
+		}
+		total += backoff
+		backoff = doubleBackoff(backoff, cap)
+	}
+	if limit := time.Duration(retries) * cap; total > limit {
+		t.Fatalf("total sleep %v exceeds bound %v", total, limit)
+	}
+	// The old schedule overflows exactly where the capped one saturates.
+	if d := doubleBackoff(time.Duration(1)<<62, cap); d != cap {
+		t.Errorf("overflow step = %v, want saturation at %v", d, cap)
+	}
+}

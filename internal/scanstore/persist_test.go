@@ -129,3 +129,111 @@ func TestSaveLoadEmpty(t *testing.T) {
 		t.Error("empty store should stay empty")
 	}
 }
+
+// TestDeltaSegmentRoundTrip: snapshot a base, keep scanning, cut a
+// delta, and replay snapshot + delta elsewhere — the incremental-ingest
+// persistence path.
+func TestDeltaSegmentRoundTrip(t *testing.T) {
+	s := New()
+	c1 := newCert(t, 70)
+	s.AddCertObservation("10.0.0.1", date(2015, 1, 1), SourceRapid7, HTTPS, c1)
+	s.AddBareKeyObservation("10.0.0.2", date(2015, 1, 1), SourceRapid7, SSH, big.NewInt(0xBA5EBA111))
+
+	var base bytes.Buffer
+	if err := s.Save(&base); err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Checkpoint()
+	if cp.Records != 2 || cp.Certs != 1 || cp.Moduli != 2 {
+		t.Fatalf("checkpoint %+v", cp)
+	}
+
+	// The delta: a new cert, a new bare key, and a re-observation of the
+	// old cert (no new cert/modulus entries for the latter).
+	c2 := newCert(t, 71)
+	s.AddCertObservation("10.0.0.3", date(2015, 2, 1), SourceRapid7, HTTPS, c2)
+	s.AddBareKeyObservation("10.0.0.4", date(2015, 2, 1), SourceRapid7, SSH, big.NewInt(0xC0FFEE123))
+	s.AddCertObservation("10.0.0.1", date(2015, 2, 1), SourceRapid7, HTTPS, c1)
+
+	var delta bytes.Buffer
+	if err := s.SaveDelta(&delta, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Load(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.LoadSince(bytes.NewReader(delta.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := s.Stats(""), got.Stats(""); a != b {
+		t.Errorf("stats mismatch after delta replay: %+v vs %+v", a, b)
+	}
+	mods1, keys1 := s.DistinctModuli()
+	mods2, keys2 := got.DistinctModuli()
+	if len(mods1) != len(mods2) {
+		t.Fatalf("moduli count: %d vs %d", len(mods1), len(mods2))
+	}
+	for i := range mods1 {
+		if mods1[i].Cmp(mods2[i]) != 0 || keys1[i] != keys2[i] {
+			t.Errorf("modulus %d mismatch (order must be preserved)", i)
+		}
+	}
+	if got.Checkpoint() != s.Checkpoint() {
+		t.Errorf("positions diverged: %+v vs %+v", got.Checkpoint(), s.Checkpoint())
+	}
+
+	// A second application must be rejected: the store has moved past the
+	// segment's base.
+	if err := got.LoadSince(bytes.NewReader(delta.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "base") {
+		t.Errorf("re-applying delta: err = %v, want base mismatch", err)
+	}
+}
+
+func TestSaveDeltaBadCheckpoint(t *testing.T) {
+	s := New()
+	s.AddBareKeyObservation("10.0.0.1", date(2015, 1, 1), SourceRapid7, SSH, big.NewInt(0xABCDEF01))
+	var buf bytes.Buffer
+	if err := s.SaveDelta(&buf, Checkpoint{Records: 99}); err == nil {
+		t.Error("out-of-range checkpoint accepted")
+	}
+}
+
+// TestSinceAndDeltaOn: the in-memory delta cuts used by the serving and
+// longitudinal paths.
+func TestSinceAndDeltaOn(t *testing.T) {
+	s := New()
+	c1 := newCert(t, 80)
+	s.AddCertObservation("10.0.0.1", date(2015, 1, 1), SourceRapid7, HTTPS, c1)
+	cp := s.Checkpoint()
+	s.AddBareKeyObservation("10.0.0.2", date(2015, 2, 1), SourceRapid7, SSH, big.NewInt(0xD00DAD011))
+	s.AddCertObservation("10.0.0.3", date(2015, 2, 1), SourceRapid7, HTTPS, c1) // old cert, re-observed
+
+	d := s.Since(cp)
+	if len(d.Records()) != 2 {
+		t.Fatalf("since: %d records, want 2", len(d.Records()))
+	}
+	// Self-contained: the re-observed certificate must resolve in the delta.
+	fp, _ := c1.Fingerprint()
+	if d.Cert(fp) == nil {
+		t.Error("delta lost the re-observed certificate")
+	}
+	mods, _ := d.DistinctModuli()
+	if len(mods) != 2 {
+		t.Errorf("since: %d distinct moduli, want 2 (bare key + c1's)", len(mods))
+	}
+	// An overlong checkpoint clamps to empty rather than panicking.
+	if n := len(s.Since(Checkpoint{Records: 1 << 20}).Records()); n != 0 {
+		t.Errorf("overlong checkpoint yielded %d records", n)
+	}
+
+	feb := s.DeltaOn(date(2015, 2, 1), "")
+	if len(feb.Records()) != 2 {
+		t.Errorf("DeltaOn(feb): %d records, want 2", len(feb.Records()))
+	}
+	if ssh := s.DeltaOn(date(2015, 2, 1), SSH); len(ssh.Records()) != 1 {
+		t.Errorf("DeltaOn(feb, SSH): %d records, want 1", len(ssh.Records()))
+	}
+}

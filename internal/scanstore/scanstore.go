@@ -81,8 +81,11 @@ type Store struct {
 	records []HostRecord
 	certs   map[[32]byte]*certs.Certificate
 	moduli  map[string]*big.Int
-	// modOrder preserves first-seen order so DistinctModuli is stable.
-	modOrder []string
+	// modOrder preserves first-seen order so DistinctModuli is stable;
+	// certOrder does the same for certificates. Both are append-only,
+	// which is what makes a Checkpoint a plain position triple.
+	modOrder  []string
+	certOrder [][32]byte
 }
 
 // New returns an empty store.
@@ -117,9 +120,7 @@ func (s *Store) Add(o Observation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if o.Cert != nil {
-		if _, ok := s.certs[rec.CertFP]; !ok {
-			s.certs[rec.CertFP] = o.Cert
-		}
+		s.addCertLocked(rec.CertFP, o.Cert)
 	}
 	s.addModulusLocked(rec.ModKey, n)
 	s.records = append(s.records, rec)
@@ -143,6 +144,13 @@ func (s *Store) addModulusLocked(key string, n *big.Int) {
 	if _, ok := s.moduli[key]; !ok {
 		s.moduli[key] = n
 		s.modOrder = append(s.modOrder, key)
+	}
+}
+
+func (s *Store) addCertLocked(fp [32]byte, c *certs.Certificate) {
+	if _, ok := s.certs[fp]; !ok {
+		s.certs[fp] = c
+		s.certOrder = append(s.certOrder, fp)
 	}
 }
 
@@ -308,4 +316,73 @@ func (s *Store) IPsServingModulus(modKey string, proto Protocol) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Checkpoint marks a position in the store's three append-only tables.
+// Because records, certificates and moduli are only ever appended (in
+// first-seen order), "everything after this checkpoint" is a pure
+// positional slice — the handle the incremental-ingest path uses to cut
+// delta segments without diffing contents.
+type Checkpoint struct {
+	Records int `json:"records"`
+	Certs   int `json:"certs"`
+	Moduli  int `json:"moduli"`
+}
+
+// Checkpoint returns the store's current position.
+func (s *Store) Checkpoint() Checkpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Checkpoint{Records: len(s.records), Certs: len(s.certOrder), Moduli: len(s.modOrder)}
+}
+
+// replayLocked builds a self-contained store from a subset of records,
+// pulling each record's certificate and modulus from the parent. The
+// result is a valid standalone Store: every referenced certificate is
+// present, even when it was first seen before the subset begins.
+func (s *Store) replayLocked(recs []HostRecord) *Store {
+	out := New()
+	for _, r := range recs {
+		if r.CertFP != ([32]byte{}) {
+			if c := s.certs[r.CertFP]; c != nil {
+				out.addCertLocked(r.CertFP, c)
+			}
+		}
+		if n := s.moduli[r.ModKey]; n != nil {
+			out.addModulusLocked(r.ModKey, n)
+		}
+		out.records = append(out.records, r)
+	}
+	return out
+}
+
+// Since returns a self-contained store holding every record added after
+// the checkpoint — the delta to feed Snapshot.Ingest. A checkpoint taken
+// from a different (longer) store yields an empty delta rather than a
+// panic.
+func (s *Store) Since(cp Checkpoint) *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if cp.Records < 0 {
+		cp.Records = 0
+	}
+	if cp.Records > len(s.records) {
+		cp.Records = len(s.records)
+	}
+	return s.replayLocked(s.records[cp.Records:])
+}
+
+// DeltaOn returns a self-contained store holding one scan date's records
+// for a protocol ("" for all) — the per-month delta of the longitudinal
+// loop.
+func (s *Store) DeltaOn(date time.Time, proto Protocol) *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var recs []HostRecord
+	for _, r := range s.records {
+		if r.Date.Equal(date) && (proto == "" || r.Protocol == proto) {
+			recs = append(recs, r)
+		}
+	}
+	return s.replayLocked(recs)
 }

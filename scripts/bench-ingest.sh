@@ -1,0 +1,24 @@
+#!/bin/sh
+# Ingestion benchmark: time the full corpus pipeline (batch GCD + factor
+# recovery + index build) against Snapshot.Ingest of a 5% delta into the
+# prebuilt index, and write BENCH_ingest.json. The acceptance floor is a
+# >=5x speedup for the incremental path at ~20k moduli.
+set -eu
+
+MODULI="${BENCH_MODULI:-20000}"
+DELTA="${BENCH_DELTA:-0.05}"
+RUNS="${BENCH_RUNS:-3}"
+OUT="${BENCH_OUT:-BENCH_ingest.json}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/ingestbench" ./cmd/ingestbench
+
+"$TMP/ingestbench" -moduli "$MODULI" -delta "$DELTA" -runs "$RUNS" -json "$OUT"
+
+SPEEDUP="$(sed -n 's/.*"speedup": \([0-9]*\)\..*/\1/p' "$OUT")"
+[ -n "$SPEEDUP" ] || { echo "bench-ingest: no speedup in $OUT" >&2; cat "$OUT" >&2; exit 1; }
+[ "$SPEEDUP" -ge 5 ] || { echo "bench-ingest: ${SPEEDUP}x below the 5x floor" >&2; cat "$OUT" >&2; exit 1; }
+
+echo "ingest bench ok (${SPEEDUP}x faster than full rebuild -> $OUT)"

@@ -51,6 +51,21 @@ grep -q '"known":true' "$TMP/clean" \
 CODE="$(curl -s -o "$TMP/bad" -w '%{http_code}' -X POST -d '{"modulus_hex":"nothex"}' "http://$ADDR/v1/check")"
 [ "$CODE" = "400" ] || { echo "keyserver-smoke: malformed submission got HTTP $CODE" >&2; cat "$TMP/bad" >&2; exit 1; }
 
+# Live ingestion: a fresh weak pair (two 128-bit moduli sharing the
+# 64-bit prime 0xad78dc4bfb9e8ddb, disjoint from the simulated corpus)
+# must flip from unknown-clean to factored without a restart.
+INGEST_W1=801e58579270d8dab1a09cf329cc5a05
+INGEST_W2=7eabc8fe480ede7475777dbe615c3dcf
+curl -sf -X POST -d "{\"modulus_hex\":\"$INGEST_W1\"}" "http://$ADDR/v1/check" >"$TMP/pre_ingest"
+grep -q '"status":"clean"' "$TMP/pre_ingest" && grep -q '"known":false' "$TMP/pre_ingest" \
+    || { echo "keyserver-smoke: fresh key already known before ingest" >&2; cat "$TMP/pre_ingest" >&2; exit 1; }
+curl -sf -X POST -d "{\"moduli_hex\":[\"$INGEST_W1\",\"$INGEST_W2\"]}" "http://$ADDR/v1/ingest" >"$TMP/ingest"
+grep -q '"delta_moduli":2' "$TMP/ingest" && grep -q '"new_factored":2' "$TMP/ingest" \
+    || { echo "keyserver-smoke: ingest did not factor the weak pair" >&2; cat "$TMP/ingest" >&2; exit 1; }
+curl -sf -X POST -d "{\"modulus_hex\":\"$INGEST_W1\"}" "http://$ADDR/v1/check" >"$TMP/post_ingest"
+grep -q '"status":"factored"' "$TMP/post_ingest" && grep -q '"factor_p_hex"' "$TMP/post_ingest" \
+    || { echo "keyserver-smoke: ingested weak key not factored" >&2; cat "$TMP/post_ingest" >&2; exit 1; }
+
 # /v1/stats and /metrics must reflect the checks just served.
 curl -sf "http://$ADDR/v1/stats" | grep -q '"index"' \
     || { echo "keyserver-smoke: /v1/stats malformed" >&2; exit 1; }
@@ -59,6 +74,7 @@ for METRIC in 'keycheck_checks_total{verdict="factored"}' \
               'keycheck_checks_total{verdict="clean"}' \
               'keycheck_http_requests_total{code="200"}' \
               'keycheck_http_requests_total{code="400"}' \
+              'keycheck_ingest_total{outcome="ok"}' \
               'keycheck_index_moduli' 'keycheck_shard_moduli'; do
     grep -q "$METRIC" "$TMP/metrics" \
         || { echo "keyserver-smoke: /metrics missing $METRIC" >&2; cat "$TMP/metrics" >&2; exit 1; }
@@ -71,4 +87,4 @@ wait "$KS_PID" 2>/dev/null || true
 grep -q 'drained' "$TMP/stderr" \
     || { echo "keyserver-smoke: no graceful drain on SIGTERM" >&2; cat "$TMP/stderr" >&2; exit 1; }
 
-echo "keyserver smoke ok (weak+clean+malformed verdicts correct at $ADDR)"
+echo "keyserver smoke ok (weak+clean+malformed+ingest flows correct at $ADDR)"
