@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke bench-telemetry bench-keyserver bench-ingest
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke bench-telemetry bench-keyserver bench-ingest bench-gcd
 
 # ci is the full gate: compile everything, vet, run the test suite under
 # the race detector (which includes every fault-injection test), smoke-
 # test the live telemetry path, the seeded-chaos recovery path and the
-# online key-check service end to end, and guard the instrumentation
-# hot-path cost.
-ci: build vet race smoke chaos-smoke keyserver-smoke bench-telemetry
+# online key-check service end to end, guard the instrumentation
+# hot-path cost, and hold the batch-GCD kernel to its scaling and
+# allocation floors.
+ci: build vet race smoke chaos-smoke keyserver-smoke bench-telemetry bench-gcd
 
 build:
 	$(GO) build ./...
@@ -24,7 +25,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
 
 # bench-pipeline measures the stage-wrapping overhead of internal/pipeline
 # against direct calls (expected: well under 1%).
@@ -59,6 +60,12 @@ bench-keyserver:
 # BENCH_ingest.json (floor: 5x speedup for the incremental path).
 bench-ingest:
 	sh ./scripts/bench-ingest.sh
+
+# bench-gcd runs the batch-GCD pipeline on kernel engines of increasing
+# width and writes BENCH_gcd.json (floors: >=2x over serial on >=4
+# cores; arena recycling must allocate strictly less than no-arena).
+bench-gcd:
+	sh ./scripts/bench-gcd.sh
 
 # bench-telemetry guards the instrumentation hot path: counter Add and
 # histogram Observe must stay in the low nanoseconds (fixed iteration

@@ -1,0 +1,221 @@
+// Command gcdbench benchmarks the batch-GCD math kernel: the full
+// product-tree + squared-remainder-tree + GCD-sweep pipeline
+// (batchgcd.FactorCtx) over a synthetic corpus, executed on
+// internal/kernel engines of different widths.
+//
+// It measures three things the refactor claims:
+//
+//   - scaling: wall clock on the GOMAXPROCS-wide pooled engine versus
+//     the 1-worker serial baseline, plus a full workers sweep
+//     (1, 2, 4, ... up to the core count) so the scaling curve is in
+//     the report, not just its endpoints;
+//   - allocations: total mallocs with arena recycling on versus an
+//     engine with recycling disabled — the pre-refactor
+//     new-big.Int-per-node behaviour;
+//   - kernel telemetry: the engine's own ops/chunks/arena ledger.
+//
+// Results land in a JSON report (see -json); scripts/bench-gcd.sh
+// enforces the acceptance floors (>=2x speedup on 4+ cores, arenas
+// strictly cheaper than no arenas).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/kernel"
+)
+
+type sweepPoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type report struct {
+	Moduli      int `json:"moduli"`
+	ModulusBits int `json:"modulus_bits"`
+	Runs        int `json:"runs"`
+	Cores       int `json:"cores"`
+	GOMAXPROCS  int `json:"gomaxprocs"`
+	Vulnerable  int `json:"vulnerable"`
+
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+
+	ParallelAllocs uint64  `json:"parallel_allocs"`
+	NoArenaAllocs  uint64  `json:"noarena_allocs"`
+	AllocsSavedPct float64 `json:"allocs_saved_pct"`
+
+	Sweep  []sweepPoint `json:"workers_sweep"`
+	Kernel kernel.Stats `json:"kernel"`
+}
+
+func main() {
+	var (
+		nModuli = flag.Int("moduli", 20000, "corpus size in distinct moduli")
+		seed    = flag.Int64("seed", 2016, "corpus generation seed")
+		runs    = flag.Int("runs", 2, "timed repetitions per configuration (best run is reported)")
+		jsonOut = flag.String("json", "", "write the JSON report to this file (default stdout)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "gcdbench:", err)
+		os.Exit(1)
+	}
+
+	logf("generating %d moduli from seed %d...", *nModuli, *seed)
+	t0 := time.Now()
+	mods := generateCorpus(rand.New(rand.NewSource(*seed)), *nModuli)
+	logf("corpus ready in %v", time.Since(t0).Round(time.Millisecond))
+
+	cores := runtime.NumCPU()
+	out := report{
+		Moduli:      *nModuli,
+		ModulusBits: mods[0].BitLen(),
+		Runs:        *runs,
+		Cores:       cores,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// measure runs FactorCtx on eng, returning the best wall clock over
+	// -runs repetitions, the malloc count of the last repetition, and
+	// the result count (cross-checked across configurations).
+	measure := func(eng *kernel.Engine) (time.Duration, uint64, int) {
+		ctx := kernel.With(context.Background(), eng)
+		best := time.Duration(0)
+		var allocs uint64
+		var found int
+		for r := 0; r < *runs; r++ {
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			res, err := batchgcd.FactorCtx(ctx, mods)
+			d := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			if err != nil {
+				fatal(err)
+			}
+			found = len(res)
+			allocs = m1.Mallocs - m0.Mallocs
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, allocs, found
+	}
+
+	// Workers sweep: 1, 2, 4, ... up to the core count (always
+	// including the core count itself). The 1-worker point is the
+	// serial baseline, the widest point the production shape.
+	var widths []int
+	for w := 1; w < cores; w *= 2 {
+		widths = append(widths, w)
+	}
+	widths = append(widths, cores)
+
+	var serial, parallel time.Duration
+	for _, w := range widths {
+		eng := kernel.New(w)
+		d, allocs, found := measure(eng)
+		if out.Vulnerable != 0 && found != out.Vulnerable {
+			fatal(fmt.Errorf("workers=%d found %d vulnerable, earlier run found %d", w, found, out.Vulnerable))
+		}
+		out.Vulnerable = found
+		out.Sweep = append(out.Sweep, sweepPoint{Workers: w, Seconds: d.Seconds()})
+		if w == 1 {
+			serial = d
+		}
+		if w == cores {
+			parallel = d
+			out.ParallelAllocs = allocs
+			out.Kernel = eng.Stats()
+		}
+		eng.Close()
+		logf("workers=%d: %v (%d vulnerable, %d allocs)", w, d.Round(time.Millisecond), found, allocs)
+	}
+	for i := range out.Sweep {
+		out.Sweep[i].Speedup = serial.Seconds() / out.Sweep[i].Seconds
+	}
+	out.SerialSeconds = serial.Seconds()
+	out.ParallelSeconds = parallel.Seconds()
+	out.Speedup = serial.Seconds() / parallel.Seconds()
+
+	// Arena ablation: same width, recycling off — the pre-refactor
+	// allocation behaviour (a fresh big.Int per scratch value).
+	legacy := kernel.New(cores, kernel.WithoutArenaReuse())
+	d, noArena, found := measure(legacy)
+	legacy.Close()
+	if found != out.Vulnerable {
+		fatal(fmt.Errorf("no-arena run found %d vulnerable, arena run found %d", found, out.Vulnerable))
+	}
+	out.NoArenaAllocs = noArena
+	if noArena > 0 {
+		out.AllocsSavedPct = 100 * (1 - float64(out.ParallelAllocs)/float64(noArena))
+	}
+	logf("no-arena: %v (%d allocs; arenas save %.1f%%)", d.Round(time.Millisecond), noArena, out.AllocsSavedPct)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+	logf("serial %v, parallel %v on %d cores: %.2fx",
+		serial.Round(time.Millisecond), parallel.Round(time.Millisecond), cores, out.Speedup)
+}
+
+// generateCorpus returns n distinct 128-bit semiprimes with about 1%
+// sharing a prime with another modulus, the paper's population shape.
+func generateCorpus(rng *rand.Rand, n int) []*big.Int {
+	prime := func() *big.Int {
+		for {
+			p := new(big.Int).SetUint64(rng.Uint64() | 1<<63 | 1)
+			if p.ProbablyPrime(0) {
+				return p
+			}
+		}
+	}
+	mods := make([]*big.Int, 0, n)
+	seen := make(map[string]bool, n)
+	add := func(m *big.Int) {
+		key := string(m.Bytes())
+		if !seen[key] {
+			seen[key] = true
+			mods = append(mods, m)
+		}
+	}
+	for len(mods) < n/100 {
+		shared := prime()
+		add(new(big.Int).Mul(shared, prime()))
+		add(new(big.Int).Mul(shared, prime()))
+	}
+	for len(mods) < n {
+		add(new(big.Int).Mul(prime(), prime()))
+	}
+	rng.Shuffle(len(mods), func(i, j int) { mods[i], mods[j] = mods[j], mods[i] })
+	return mods
+}

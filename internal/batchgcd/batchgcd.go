@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/prodtree"
 )
 
@@ -46,10 +47,10 @@ func Factor(moduli []*big.Int) ([]Result, error) {
 }
 
 // FactorCtx is Factor with cancellation: the context is plumbed into the
-// product- and remainder-tree builds (checked per tree level) and into
-// the final GCD sweep (checked every few hundred moduli), so a cancelled
-// run returns promptly — within one tree level's work — with an error
-// wrapping the context's.
+// product- and remainder-tree builds and into the final GCD sweep, all
+// scheduled on the shared internal/kernel pool with cancellation
+// checked per work chunk, so a cancelled run returns promptly with an
+// error wrapping the context's.
 func FactorCtx(ctx context.Context, moduli []*big.Int) ([]Result, error) {
 	if len(moduli) == 0 {
 		return nil, ErrNoInput
@@ -63,21 +64,31 @@ func FactorCtx(ctx context.Context, moduli []*big.Int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var results []Result
-	var z, g big.Int
-	for i, n := range distinct {
-		if i%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("batchgcd: gcd sweep cancelled at modulus %d/%d: %w", i, len(distinct), err)
-			}
-		}
+	// The per-modulus Quo+GCD sweeps are independent; fan them out on
+	// the pool into an index-aligned divisor slice, then collect in
+	// input order so the output stays byte-stable regardless of
+	// scheduling.
+	eng := kernel.FromContext(ctx)
+	divs := make([]*big.Int, len(distinct))
+	err = eng.Run(ctx, len(distinct), func(i int, a *kernel.Arena) {
+		n := distinct[i]
+		z, g := a.Get(), a.Get()
 		z.Quo(rems[i], n) // zi/Ni — exact cofactor of P/Ni modulo Ni
-		g.GCD(nil, nil, &z, n)
+		g.GCD(nil, nil, z, n)
 		if g.Cmp(bigOne) != 0 {
-			d := new(big.Int).Set(&g)
-			for _, orig := range backrefs[i] {
-				results = append(results, Result{Index: orig, Divisor: d})
-			}
+			divs[i] = new(big.Int).Set(g)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("batchgcd: gcd sweep cancelled: %w", err)
+	}
+	var results []Result
+	for i := range distinct {
+		if divs[i] == nil {
+			continue
+		}
+		for _, orig := range backrefs[i] {
+			results = append(results, Result{Index: orig, Divisor: divs[i]})
 		}
 	}
 	return results, nil
@@ -166,7 +177,13 @@ func FactorPairwise(moduli []*big.Int) ([]Result, error) {
 // VulnerableSet runs Factor and returns the set of vulnerable input
 // indices, a convenience for callers that only need membership.
 func VulnerableSet(moduli []*big.Int) (map[int]bool, error) {
-	res, err := Factor(moduli)
+	return VulnerableSetCtx(context.Background(), moduli)
+}
+
+// VulnerableSetCtx is VulnerableSet with cancellation, so the
+// convenience path is as abortable as the full FactorCtx it wraps.
+func VulnerableSetCtx(ctx context.Context, moduli []*big.Int) (map[int]bool, error) {
+	res, err := FactorCtx(ctx, moduli)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,102 @@
+package batchgcd
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/kernel"
+)
+
+// sharedPrimeCorpus builds n semiprimes from 64-bit primes with a few
+// shared-prime pairs and some exact duplicates sprinkled in, the mix
+// the dedup and sweep paths have to agree on.
+func sharedPrimeCorpus(seed int64, n int) []*big.Int {
+	rng := rand.New(rand.NewSource(seed))
+	prime := func() *big.Int {
+		for {
+			p := new(big.Int).SetUint64(rng.Uint64() | 1<<63 | 1)
+			if p.ProbablyPrime(0) {
+				return p
+			}
+		}
+	}
+	mods := make([]*big.Int, 0, n)
+	for len(mods) < n/10 {
+		shared := prime()
+		mods = append(mods,
+			new(big.Int).Mul(shared, prime()),
+			new(big.Int).Mul(shared, prime()))
+	}
+	for len(mods) < n-n/20 {
+		mods = append(mods, new(big.Int).Mul(prime(), prime()))
+	}
+	for len(mods) < n {
+		mods = append(mods, new(big.Int).Set(mods[rng.Intn(len(mods))])) // duplicates
+	}
+	rng.Shuffle(len(mods), func(i, j int) { mods[i], mods[j] = mods[j], mods[i] })
+	return mods
+}
+
+// TestFactorPooledMatchesSerial is the full-Factor half of the
+// equivalence property: the pooled engine must produce results
+// bit-identical — same order, same indices, same divisors — to the
+// 1-worker serial baseline.
+func TestFactorPooledMatchesSerial(t *testing.T) {
+	serial := kernel.New(1)
+	pooled := kernel.New(8)
+	defer serial.Close()
+	defer pooled.Close()
+
+	for _, seed := range []int64{1, 42, 2016} {
+		mods := sharedPrimeCorpus(seed, 400)
+		sres, err := FactorCtx(kernel.With(context.Background(), serial), mods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := FactorCtx(kernel.With(context.Background(), pooled), mods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sres) != len(pres) {
+			t.Fatalf("seed %d: %d serial results vs %d pooled", seed, len(sres), len(pres))
+		}
+		if len(sres) == 0 {
+			t.Fatalf("seed %d: corpus produced no vulnerable moduli", seed)
+		}
+		for i := range sres {
+			if sres[i].Index != pres[i].Index || sres[i].Divisor.Cmp(pres[i].Divisor) != 0 {
+				t.Fatalf("seed %d: result %d differs: serial {%d %v} pooled {%d %v}",
+					seed, i, sres[i].Index, sres[i].Divisor, pres[i].Index, pres[i].Divisor)
+			}
+		}
+	}
+}
+
+func TestVulnerableSetCtx(t *testing.T) {
+	mods := sharedPrimeCorpus(7, 120)
+	want, err := VulnerableSet(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VulnerableSetCtx(context.Background(), mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("VulnerableSetCtx found %d vulnerable, VulnerableSet %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i] {
+			t.Fatalf("index %d missing from VulnerableSetCtx result", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := VulnerableSetCtx(ctx, mods); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled VulnerableSetCtx returned %v, want context.Canceled", err)
+	}
+}

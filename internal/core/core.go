@@ -32,6 +32,7 @@ import (
 	"github.com/factorable/weakkeys/internal/distgcd"
 	"github.com/factorable/weakkeys/internal/faults"
 	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/population"
 	"github.com/factorable/weakkeys/internal/scanstore"
@@ -226,6 +227,9 @@ func (s *Study) publishCorpusGauges() {
 		reg.Gauge("core_pipeline_wall_seconds").Set(s.Report.Wall.Seconds())
 		reg.Gauge("core_pipeline_cpu_seconds").Set(s.Report.CPU.Seconds())
 	}
+	// The math stages all execute on the shared kernel pool; surface its
+	// cost ledger next to the pipeline's.
+	kernel.Default().Publish(reg)
 	reg.Counter("core_runs_total").Inc()
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/pipeline"
 	"github.com/factorable/weakkeys/internal/prodtree"
 	"github.com/factorable/weakkeys/internal/telemetry"
@@ -216,6 +217,7 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	opts.Metrics.Gauge("distgcd_results").Set(float64(len(results)))
 	opts.Metrics.Gauge("distgcd_total_cpu_seconds").Set(stats.CPU.Seconds())
 	opts.Metrics.Gauge("distgcd_peak_node_tree_bytes").Set(float64(stats.Bytes))
+	kernel.FromContext(ctx).Publish(opts.Metrics)
 	if stats.LostSubsets > 0 {
 		return results, stats, &PartialError{Failures: append(lostBuild, lostReduce...)}
 	}
@@ -325,16 +327,23 @@ func (n *node) reduceAll(ctx context.Context, products []*big.Int) error {
 		return errors.New("distgcd: node product missing from exchange")
 	}
 
-	// combined[i] accumulates ∏_j contribution_j mod Ni.
+	// combined[i] accumulates ∏_j contribution_j mod Ni. The per-modulus
+	// loops are independent; they run on the shared kernel pool, so k
+	// concurrent nodes queue work on one GOMAXPROCS-wide pool instead of
+	// spawning k goroutine sets of their own.
+	eng := kernel.FromContext(ctx)
 	combined := make([]*big.Int, len(n.moduli))
 	zs, err := n.tree.RemainderTreeSquaredCtx(ctx, selfRoot)
 	if err != nil {
 		return err
 	}
-	var z big.Int
-	for i, m := range n.moduli {
-		z.Quo(zs[i], m)
-		combined[i] = new(big.Int).Mod(&z, m)
+	err = eng.Run(ctx, len(n.moduli), func(i int, a *kernel.Arena) {
+		z := a.Get()
+		z.Quo(zs[i], n.moduli[i])
+		combined[i] = new(big.Int).Mod(z, n.moduli[i])
+	})
+	if err != nil {
+		return fmt.Errorf("distgcd: node %d reduce cancelled: %w", n.id, err)
 	}
 	for j, p := range products {
 		if j == self {
@@ -344,19 +353,25 @@ func (n *node) reduceAll(ctx context.Context, products []*big.Int) error {
 		if err != nil {
 			return err
 		}
-		for i, m := range n.moduli {
+		err = eng.Run(ctx, len(n.moduli), func(i int, _ *kernel.Arena) {
 			combined[i].Mul(combined[i], rems[i])
-			combined[i].Mod(combined[i], m)
+			combined[i].Mod(combined[i], n.moduli[i])
+		})
+		if err != nil {
+			return fmt.Errorf("distgcd: node %d reduce cancelled: %w", n.id, err)
 		}
 	}
 
 	n.divisors = make([]*big.Int, len(n.moduli))
-	var g big.Int
-	for i, m := range n.moduli {
-		g.GCD(nil, nil, combined[i], m)
+	err = eng.Run(ctx, len(n.moduli), func(i int, a *kernel.Arena) {
+		g := a.Get()
+		g.GCD(nil, nil, combined[i], n.moduli[i])
 		if g.Cmp(one) != 0 {
-			n.divisors[i] = new(big.Int).Set(&g)
+			n.divisors[i] = new(big.Int).Set(g)
 		}
+	})
+	if err != nil {
+		return fmt.Errorf("distgcd: node %d gcd sweep cancelled: %w", n.id, err)
 	}
 	return nil
 }

@@ -6,10 +6,10 @@ import (
 	"hash/fnv"
 	"math/big"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"github.com/factorable/weakkeys/internal/fingerprint"
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/prodtree"
 	"github.com/factorable/weakkeys/internal/scanstore"
 )
@@ -160,32 +160,32 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 			}
 		}
 	}
-	// Blooms and products. Products dominate build time; run shards
-	// concurrently, mirroring the subset partitioning of the
-	// distributed batch GCD.
-	var wg sync.WaitGroup
+	// Blooms and products. Products dominate build time; fan the shards
+	// out on the shared kernel pool, mirroring the subset partitioning
+	// of the distributed batch GCD. The nested product-tree builds
+	// schedule their levels on the same pool, so total concurrency
+	// stays bounded by the pool width instead of shards × GOMAXPROCS.
+	eng := kernel.FromContext(ctx)
 	errs := make([]error, nShards)
-	for si := range snap.shards {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			sh := snap.shards[si]
-			sh.bloom = newBloom(sh.moduli)
-			if len(byShard[si]) == 0 {
-				return
-			}
-			for _, n := range byShard[si] {
-				sh.bloom.add(string(n.Bytes()))
-			}
-			tree, err := prodtree.NewCtx(ctx, byShard[si])
-			if err != nil {
-				errs[si] = fmt.Errorf("keycheck: build shard %d: %w", si, err)
-				return
-			}
-			sh.tree = tree
-		}(si)
+	runErr := eng.Run(ctx, nShards, func(si int, _ *kernel.Arena) {
+		sh := snap.shards[si]
+		sh.bloom = newBloom(sh.moduli)
+		if len(byShard[si]) == 0 {
+			return
+		}
+		for _, n := range byShard[si] {
+			sh.bloom.add(string(n.Bytes()))
+		}
+		tree, err := prodtree.NewCtx(ctx, byShard[si])
+		if err != nil {
+			errs[si] = fmt.Errorf("keycheck: build shard %d: %w", si, err)
+			return
+		}
+		sh.tree = tree
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("keycheck: build cancelled: %w", runErr)
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"sync"
 	"time"
 
 	"github.com/factorable/weakkeys/internal/batchgcd"
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/prodtree"
 )
 
@@ -152,9 +152,10 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	// (a) Each novel modulus against every existing shard product, via
 	// one remainder tree of the delta per shard: gcd(N, P mod N) =
 	// gcd(N, P) exposes the primes N shares with the shard without ever
-	// forming P/N. Shards run concurrently, like Build. Alongside, each
-	// shard scans its own leaves against the divisors it yielded to find
-	// the old members being shared with (the mates to re-label).
+	// forming P/N. Shards fan out on the shared kernel pool, like
+	// Build. Alongside, each shard scans its own leaves against the
+	// divisors it yielded to find the old members being shared with
+	// (the mates to re-label).
 	type mate struct {
 		shard   int
 		key     string
@@ -168,62 +169,64 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	if err != nil {
 		return nil, rep, fmt.Errorf("keycheck: ingest: delta tree: %w", err)
 	}
-	var wg sync.WaitGroup
+	var treed []int // shards that actually hold a product tree
 	for si := range s.shards {
-		if s.shards[si].tree == nil {
-			continue
+		if s.shards[si].tree != nil {
+			treed = append(treed, si)
 		}
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			sh := s.shards[si]
-			rems, err := dt.RemainderTreeCtx(ctx, sh.product())
-			if err != nil {
-				errs[si] = fmt.Errorf("keycheck: ingest shard %d: %w", si, err)
-				return
-			}
-			var gis []*big.Int
-			for j, rem := range rems {
-				n := novelMods[j]
-				var gi *big.Int
-				if rem.Sign() == 0 {
-					// n divides the whole shard product: every prime of
-					// n lives in this shard.
-					gi = n
-				} else {
-					gi = new(big.Int).GCD(nil, nil, n, rem)
-					if gi.Cmp(one) <= 0 {
-						continue
-					}
-				}
-				if shardGCD[si] == nil {
-					shardGCD[si] = make(map[int]*big.Int)
-				}
-				shardGCD[si][j] = gi
-				gis = append(gis, gi)
-			}
-			if len(gis) == 0 {
-				return
-			}
-			// Mate scan: which existing members of this shard share a
-			// prime with the delta? Only shards that yielded a divisor
-			// pay for it, and only with small GCDs.
-			g := new(big.Int)
-			for _, leaf := range sh.tree.Leaves() {
-				for _, gi := range gis {
-					g.GCD(nil, nil, leaf, gi)
-					if g.Cmp(one) > 0 && g.Cmp(leaf) < 0 {
-						mates[si] = append(mates[si], mate{
-							shard: si, key: string(leaf.Bytes()),
-							mod: leaf, divisor: new(big.Int).Set(g),
-						})
-						break
-					}
-				}
-			}
-		}(si)
 	}
-	wg.Wait()
+	eng := kernel.FromContext(ctx)
+	runErr := eng.Run(ctx, len(treed), func(k int, a *kernel.Arena) {
+		si := treed[k]
+		sh := s.shards[si]
+		rems, err := dt.RemainderTreeCtx(ctx, sh.product())
+		if err != nil {
+			errs[si] = fmt.Errorf("keycheck: ingest shard %d: %w", si, err)
+			return
+		}
+		var gis []*big.Int
+		for j, rem := range rems {
+			n := novelMods[j]
+			var gi *big.Int
+			if rem.Sign() == 0 {
+				// n divides the whole shard product: every prime of
+				// n lives in this shard.
+				gi = n
+			} else {
+				gi = new(big.Int).GCD(nil, nil, n, rem)
+				if gi.Cmp(one) <= 0 {
+					continue
+				}
+			}
+			if shardGCD[si] == nil {
+				shardGCD[si] = make(map[int]*big.Int)
+			}
+			shardGCD[si][j] = gi
+			gis = append(gis, gi)
+		}
+		if len(gis) == 0 {
+			return
+		}
+		// Mate scan: which existing members of this shard share a
+		// prime with the delta? Only shards that yielded a divisor
+		// pay for it, and only with small GCDs.
+		g := a.Get()
+		for _, leaf := range sh.tree.Leaves() {
+			for _, gi := range gis {
+				g.GCD(nil, nil, leaf, gi)
+				if g.Cmp(one) > 0 && g.Cmp(leaf) < 0 {
+					mates[si] = append(mates[si], mate{
+						shard: si, key: string(leaf.Bytes()),
+						mod: leaf, divisor: new(big.Int).Set(g),
+					})
+					break
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, rep, fmt.Errorf("keycheck: ingest cancelled: %w", runErr)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, rep, err

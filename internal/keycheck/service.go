@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
@@ -256,6 +257,7 @@ func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, erro
 			reg.Gauge(fmt.Sprintf(`keycheck_shard_nodes_reused{shard="%d"}`, sr.Shard)).Set(float64(sr.NodesReused))
 			reg.Gauge(fmt.Sprintf(`keycheck_shard_nodes_total{shard="%d"}`, sr.Shard)).Set(float64(sr.NodesTotal))
 		}
+		kernel.FromContext(ctx).Publish(reg)
 	}
 	if ns != snap {
 		s.Publish(ns)

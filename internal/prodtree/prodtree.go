@@ -19,8 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"runtime"
-	"sync"
+
+	"github.com/factorable/weakkeys/internal/kernel"
 )
 
 // Tree is a product tree. Levels[0] is the input leaves; each higher level
@@ -34,34 +34,37 @@ type Tree struct {
 var ErrEmpty = errors.New("prodtree: no inputs")
 
 // New builds the product tree of vals. The leaf slice is copied (shallow:
-// the *big.Int leaves are aliased, never written). Building is
-// parallelized across GOMAXPROCS goroutines per level, mirroring the
-// threaded arithmetic of the original factorable.net implementation.
+// the *big.Int leaves are aliased, never written). Each level's
+// independent multiplications are scheduled on the shared
+// internal/kernel worker pool, mirroring the threaded arithmetic of the
+// original factorable.net implementation without spawning goroutines
+// per call.
 func New(vals []*big.Int) (*Tree, error) {
 	return NewCtx(context.Background(), vals)
 }
 
-// NewCtx is New with cancellation: the context is checked between tree
-// levels, so a cancelled build returns — with an error wrapping the
-// context's — after at most one level's multiplications. At the paper's
-// scale a single upper level is minutes of work, and level-granular
-// checks are what let an operator abort an 81M-moduli run without
-// waiting for the central product.
+// NewCtx is New with cancellation, checked per scheduled work chunk: a
+// cancelled build returns — with an error wrapping the context's —
+// without waiting for the current level to finish. At the paper's scale
+// a single upper level is minutes of work, and sub-level checks are
+// what let an operator abort an 81M-moduli run without waiting for the
+// central product.
 func NewCtx(ctx context.Context, vals []*big.Int) (*Tree, error) {
 	if len(vals) == 0 {
 		return nil, ErrEmpty
 	}
+	eng := kernel.FromContext(ctx)
 	leaves := make([]*big.Int, len(vals))
 	copy(leaves, vals)
 	t := &Tree{Levels: [][]*big.Int{leaves}}
 	for cur := leaves; len(cur) > 1; {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("prodtree: build cancelled at level %d: %w", len(t.Levels), err)
-		}
 		next := make([]*big.Int, (len(cur)+1)/2)
-		parallelFor(len(cur)/2, func(i int) {
+		err := eng.Run(ctx, len(cur)/2, func(i int, _ *kernel.Arena) {
 			next[i] = new(big.Int).Mul(cur[2*i], cur[2*i+1])
 		})
+		if err != nil {
+			return nil, fmt.Errorf("prodtree: build cancelled at level %d: %w", len(t.Levels), err)
+		}
 		if len(cur)%2 == 1 {
 			next[len(next)-1] = cur[len(cur)-1]
 		}
@@ -87,8 +90,8 @@ func Extend(t *Tree, newLeaves []*big.Int) (*Tree, error) {
 	return ExtendCtx(context.Background(), t, newLeaves)
 }
 
-// ExtendCtx is Extend with cancellation, checked per tree level like
-// NewCtx.
+// ExtendCtx is Extend with cancellation, checked per scheduled work
+// chunk like NewCtx.
 func ExtendCtx(ctx context.Context, t *Tree, newLeaves []*big.Int) (*Tree, error) {
 	if t == nil || len(t.Levels) == 0 || len(t.Levels[0]) == 0 {
 		return NewCtx(ctx, newLeaves)
@@ -96,6 +99,7 @@ func ExtendCtx(ctx context.Context, t *Tree, newLeaves []*big.Int) (*Tree, error
 	if len(newLeaves) == 0 {
 		return t, nil
 	}
+	eng := kernel.FromContext(ctx)
 	old := t.Levels[0]
 	leaves := make([]*big.Int, 0, len(old)+len(newLeaves))
 	leaves = append(append(leaves, old...), newLeaves...)
@@ -106,9 +110,6 @@ func ExtendCtx(ctx context.Context, t *Tree, newLeaves []*big.Int) (*Tree, error
 	// spine absorbing the new leaves — is recomputed.
 	shared := len(old)
 	for cur := leaves; len(cur) > 1; {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("prodtree: extend cancelled at level %d: %w", len(nt.Levels), err)
-		}
 		shared /= 2
 		lvl := len(nt.Levels)
 		if lvl >= len(t.Levels) {
@@ -118,7 +119,7 @@ func ExtendCtx(ctx context.Context, t *Tree, newLeaves []*big.Int) (*Tree, error
 		if shared > 0 {
 			copy(next[:shared], t.Levels[lvl][:shared])
 		}
-		parallelFor(len(next)-shared, func(i int) {
+		err := eng.Run(ctx, len(next)-shared, func(i int, _ *kernel.Arena) {
 			j := shared + i
 			if 2*j+1 < len(cur) {
 				next[j] = new(big.Int).Mul(cur[2*j], cur[2*j+1])
@@ -126,6 +127,9 @@ func ExtendCtx(ctx context.Context, t *Tree, newLeaves []*big.Int) (*Tree, error
 				next[j] = cur[2*j]
 			}
 		})
+		if err != nil {
+			return nil, fmt.Errorf("prodtree: extend cancelled at level %d: %w", len(nt.Levels), err)
+		}
 		nt.Levels = append(nt.Levels, next)
 		cur = next
 	}
@@ -226,64 +230,44 @@ func (t *Tree) RemainderTreeSquaredCtx(ctx context.Context, x *big.Int) ([]*big.
 }
 
 func (t *Tree) remainderTree(ctx context.Context, x *big.Int, squared bool) ([]*big.Int, error) {
+	eng := kernel.FromContext(ctx)
 	cur := []*big.Int{x}
-	for lvl := len(t.Levels) - 1; lvl >= 0; lvl-- {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("prodtree: remainder tree cancelled at level %d: %w", lvl, err)
+	top := len(t.Levels) - 1
+	if squared && top >= 1 {
+		// The first descent step would reduce x mod root². For the
+		// canonical batch-GCD call x IS the root product, so x < root²
+		// and the reduction is a no-op — yet forming root² is a
+		// full-width squaring of the largest number in the tree. Skip
+		// the level whenever x < root² is certain from bit lengths
+		// alone: bitlen(x) <= 2*bitlen(root)-2 implies
+		// x < 2^(2b-2) <= root².
+		root := t.Levels[top][0]
+		if x.BitLen() <= 2*root.BitLen()-2 {
+			top--
 		}
+	}
+	for lvl := top; lvl >= 0; lvl-- {
 		nodes := t.Levels[lvl]
 		next := make([]*big.Int, len(nodes))
-		parallelFor(len(nodes), func(i int) {
-			parent := cur[i/2]
-			var mod big.Int
-			if squared {
-				mod.Mul(nodes[i], nodes[i])
-			} else {
-				mod.Set(nodes[i])
-			}
+		err := eng.Run(ctx, len(nodes), func(i int, a *kernel.Arena) {
 			// An odd trailing node was carried up unchanged, so the parent
 			// may literally be the same value; reduce anyway (cheap) to
 			// keep the control flow uniform.
-			next[i] = new(big.Int).Mod(parent, &mod)
+			parent := cur[i/2]
+			mod := nodes[i]
+			if squared {
+				sq := a.Get()
+				sq.Mul(nodes[i], nodes[i])
+				mod = sq
+			}
+			next[i] = new(big.Int).Mod(parent, mod)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("prodtree: remainder tree cancelled at level %d: %w", lvl, err)
+		}
 		cur = next
 	}
 	return cur, nil
-}
-
-// parallelFor runs f(0..n-1) across up to GOMAXPROCS goroutines. It runs
-// inline when n is small to avoid goroutine overhead on tiny levels.
-func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 4 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Product is a convenience wrapper: the product of vals via a tree.

@@ -5,10 +5,10 @@ import (
 	"errors"
 	"math/big"
 	"math/rand"
-	"runtime"
-	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"github.com/factorable/weakkeys/internal/kernel"
 )
 
 func randInts(seed int64, n, bits int) []*big.Int {
@@ -197,33 +197,14 @@ func TestPropertyRootDivisibleByEveryLeaf(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	for _, n := range []int{0, 1, 3, 4, 100, 1000} {
-		out := make([]int, n)
-		parallelFor(n, func(i int) { out[i] = i * i })
-		for i := range out {
-			if out[i] != i*i {
-				t.Fatalf("n=%d: out[%d] = %d", n, i, out[i])
-			}
-		}
-	}
-}
-
-func TestParallelForMultiWorker(t *testing.T) {
-	// Force the goroutine path even on single-core machines.
-	old := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(old)
-	n := 1000
-	out := make([]int64, n)
-	parallelFor(n, func(i int) { atomic.AddInt64(&out[i], int64(i)) })
-	for i := range out {
-		if out[i] != int64(i) {
-			t.Fatalf("out[%d] = %d", i, out[i])
-		}
-	}
-	// And the full tree build under real parallelism.
+func TestPooledTreeBuild(t *testing.T) {
+	// Force the pooled path even on single-core machines by pinning a
+	// wide engine on the context.
+	eng := kernel.New(4)
+	defer eng.Close()
+	ctx := kernel.With(context.Background(), eng)
 	vals := randInts(77, 257, 64)
-	tr, err := New(vals)
+	tr, err := NewCtx(ctx, vals)
 	if err != nil {
 		t.Fatal(err)
 	}

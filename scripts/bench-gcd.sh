@@ -1,0 +1,52 @@
+#!/bin/sh
+# Batch-GCD kernel benchmark: run the full product-tree + remainder-tree
+# + GCD-sweep pipeline on pooled kernel engines of increasing width and
+# write BENCH_gcd.json. Two acceptance floors:
+#   - scaling: the GOMAXPROCS-wide engine must be >=2x faster than the
+#     1-worker serial baseline — enforced only on machines with >=4
+#     cores (narrower boxes record the curve but cannot demonstrate it);
+#   - allocations: arena recycling must allocate strictly less than the
+#     same run with recycling disabled (pre-refactor behaviour) — this
+#     holds on any core count and is always enforced.
+set -eu
+
+MODULI="${BENCH_MODULI:-20000}"
+RUNS="${BENCH_RUNS:-2}"
+OUT="${BENCH_OUT:-BENCH_gcd.json}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/gcdbench" ./cmd/gcdbench
+
+"$TMP/gcdbench" -moduli "$MODULI" -runs "$RUNS" -json "$OUT"
+
+CORES="$(sed -n 's/.*"cores": \([0-9]*\).*/\1/p' "$OUT")"
+SPEEDUP="$(sed -n 's/.*"speedup": \([0-9]*\).*/\1/p' "$OUT")"
+PAR_ALLOCS="$(sed -n 's/.*"parallel_allocs": \([0-9]*\).*/\1/p' "$OUT")"
+NOARENA_ALLOCS="$(sed -n 's/.*"noarena_allocs": \([0-9]*\).*/\1/p' "$OUT")"
+
+[ -n "$CORES" ] && [ -n "$SPEEDUP" ] && [ -n "$PAR_ALLOCS" ] && [ -n "$NOARENA_ALLOCS" ] || {
+	echo "bench-gcd: missing fields in $OUT" >&2
+	cat "$OUT" >&2
+	exit 1
+}
+
+if [ "$CORES" -ge 4 ]; then
+	[ "$SPEEDUP" -ge 2 ] || {
+		echo "bench-gcd: ${SPEEDUP}x below the 2x floor on $CORES cores" >&2
+		cat "$OUT" >&2
+		exit 1
+	}
+	echo "gcd bench scaling ok (${SPEEDUP}x over serial on $CORES cores)"
+else
+	echo "gcd bench: $CORES core(s) < 4, scaling floor not applicable (recorded curve only)"
+fi
+
+[ "$NOARENA_ALLOCS" -gt "$PAR_ALLOCS" ] || {
+	echo "bench-gcd: arena run allocated $PAR_ALLOCS, no-arena $NOARENA_ALLOCS — arenas not saving allocations" >&2
+	cat "$OUT" >&2
+	exit 1
+}
+
+echo "gcd bench ok (arenas: $PAR_ALLOCS allocs vs $NOARENA_ALLOCS without -> $OUT)"
