@@ -46,7 +46,9 @@ chaos-smoke:
 
 # keyserver-smoke starts keyserverd on a small simulated study and
 # checks one known-weak and one known-clean corpus key end to end over
-# HTTP, plus a malformed submission (400) and the /metrics scrape.
+# HTTP, plus a malformed submission (400), the /metrics scrape, request
+# correlation through /debug/events and /debug/requests, and the
+# /debug/bundle gzip-tar round trip.
 keyserver-smoke:
 	sh ./scripts/keyserver-smoke.sh
 
@@ -68,7 +70,9 @@ bench-gcd:
 	sh ./scripts/bench-gcd.sh
 
 # bench-telemetry guards the instrumentation hot path: counter Add and
-# histogram Observe must stay in the low nanoseconds (fixed iteration
-# count so the guard is fast enough for ci).
+# histogram Observe must stay in the low nanoseconds, event Emit within
+# its ~200ns flight-recorder budget, and the disabled (nil) paths at
+# roughly one branch (fixed iteration count so the guard is fast enough
+# for ci).
 bench-telemetry:
-	$(GO) test -run xxx -bench 'BenchmarkCounterAdd$$|BenchmarkHistogramObserve$$|BenchmarkNilCounterAdd$$' -benchtime 200000x ./internal/telemetry
+	$(GO) test -run xxx -bench 'BenchmarkCounterAdd$$|BenchmarkHistogramObserve$$|BenchmarkNilCounterAdd$$|BenchmarkEventEmit$$|BenchmarkNilEventEmit$$' -benchtime 200000x ./internal/telemetry

@@ -50,7 +50,14 @@ type result struct {
 	Verdicts     map[string]int `json:"verdicts"`
 	HTTPCodes    map[int]int    `json:"-"`
 	HTTPCodeStr  map[string]int `json:"http_codes"`
+	// DroppedRequestIDs samples the X-Request-Id headers of non-2xx
+	// responses so a failed run can be cross-referenced against the
+	// server's /debug/events?request_id= view.
+	DroppedRequestIDs []string `json:"dropped_request_ids,omitempty"`
 }
+
+// maxDroppedIDs bounds the per-run sample of failed-request IDs.
+const maxDroppedIDs = 16
 
 func main() {
 	var (
@@ -99,6 +106,7 @@ func main() {
 		lat      []time.Duration
 		verdicts map[string]int
 		codes    map[int]int
+		dropped  []string
 		errs     int
 		checks   int
 	}
@@ -142,6 +150,9 @@ func main() {
 					wk.lat = append(wk.lat, lat)
 				} else {
 					wk.errs++
+					if id := resp.Header.Get("X-Request-Id"); id != "" && len(wk.dropped) < maxDroppedIDs {
+						wk.dropped = append(wk.dropped, fmt.Sprintf("%d:%s", resp.StatusCode, id))
+					}
 					io.Copy(io.Discard, resp.Body)
 				}
 				resp.Body.Close()
@@ -169,6 +180,11 @@ func main() {
 		}
 		for k, v := range wk.codes {
 			res.HTTPCodes[k] += v
+		}
+		for _, id := range wk.dropped {
+			if len(res.DroppedRequestIDs) < maxDroppedIDs {
+				res.DroppedRequestIDs = append(res.DroppedRequestIDs, id)
+			}
 		}
 	}
 	res.ChecksPerSec = float64(res.Checks) / elapsed.Seconds()

@@ -13,13 +13,22 @@
 //	GET  /v1/stats      index, cache and limiter statistics
 //	GET  /v1/exemplars  known factored/clean corpus keys for smoke tests
 //	/metrics            Prometheus exposition  /debug/vars  JSON vars
+//	/debug/events       flight-recorder window (?level=, ?request_id=, ?n=)
+//	/debug/requests     in-flight, recent and slowest checks/ingests
+//	/debug/bundle       gzipped tar postmortem bundle
+//
+// Every request is correlated: an inbound X-Request-Id (or W3C
+// traceparent trace-id) is honoured, otherwise an ID is minted, and it
+// is echoed on every response and stamped on every event the request
+// emits.
 //
 // Examples:
 //
 //	keyserverd -scale 0.05 -bits 128 -listen 127.0.0.1:8446
-//	keyserverd -load corpus.gob -rate 100 -burst 200
+//	keyserverd -load corpus.gob -rate 100 -burst 200 -log-level debug
 //	kill -HUP <pid>   # with -load: ingest the corpus file's delta;
 //	                  # with -rebuild-full (or simulate mode): full rebuild
+//	kill -USR1 <pid>  # write a debug bundle to the -debug-bundle path
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-
 // flight checks finish, then the process exits.
@@ -30,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +48,7 @@ import (
 	"time"
 
 	"github.com/factorable/weakkeys/internal/core"
+	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/keycheck"
 	"github.com/factorable/weakkeys/internal/scanstore"
 	"github.com/factorable/weakkeys/internal/telemetry"
@@ -62,6 +73,10 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		fullHup   = flag.Bool("rebuild-full", false, "SIGHUP re-analyzes from scratch instead of ingesting the corpus delta")
 		ingestOK  = flag.Bool("allow-ingest", true, "serve POST /v1/ingest (live index updates)")
+		logLevel  = flag.String("log-level", "info", "stderr log floor: debug, info, warn or error (the flight recorder keeps everything)")
+		logFormat = flag.String("log-format", "text", "stderr log encoding: text or json")
+		eventsN   = flag.Int("events", 1024, "flight-recorder capacity in events (/debug/events window)")
+		bundleTo  = flag.String("debug-bundle", "keyserverd-debug.tar.gz", "SIGUSR1 writes a postmortem debug bundle to this path (empty disables)")
 	)
 	flag.Parse()
 
@@ -79,13 +94,28 @@ func main() {
 	defer stop()
 
 	reg := telemetry.New()
+	teeLevel, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fatal(fmt.Errorf("-log-format must be text or json, got %q", *logFormat))
+	}
+	events := telemetry.NewEventLog(telemetry.EventConfig{
+		Size:      *eventsN,
+		Level:     slog.LevelDebug, // the recorder keeps everything
+		Tee:       os.Stderr,
+		TeeFormat: *logFormat,
+		TeeLevel:  teeLevel,
+	})
+	requests := telemetry.NewRequestTracker(128, 32)
 
 	// buildSnapshot runs (or re-runs, on SIGHUP) the analysis and
 	// assembles the serving index from the study's factored set.
 	buildSnapshot := func() (*keycheck.Snapshot, error) {
 		var study *core.Study
 		var err error
-		opts := core.Options{KeyBits: *bits, Subsets: *subsets, Telemetry: reg}
+		opts := core.Options{KeyBits: *bits, Subsets: *subsets, Telemetry: reg, Events: events}
 		if *loadFrom != "" {
 			logf("analyzing corpus from %s...", *loadFrom)
 			f, ferr := os.Open(*loadFrom)
@@ -134,24 +164,58 @@ func main() {
 	}
 	logf("index built in %v: %d moduli (%d factored) across %d shards",
 		time.Since(start).Round(time.Millisecond), snap.Moduli(), snap.Factored(), *shards)
+	events.Info(ctx, "index built",
+		slog.Int("moduli", snap.Moduli()),
+		slog.Int("factored", snap.Factored()),
+		slog.Int("shards", *shards),
+		slog.Duration("elapsed", time.Since(start)))
 
 	svc := keycheck.NewService(snap, keycheck.Config{
 		Workers:   *workers,
 		QueueWait: *queueWait,
 		CacheSize: *cacheSize,
 		Metrics:   reg,
+		Events:    events,
+		Requests:  requests,
 	})
 	limiter := keycheck.NewRateLimiter(*rate, *burst)
 	api := keycheck.NewAPI(svc, limiter, reg)
 	api.SetAllowIngest(*ingestOK)
 
 	// One mux serves the check API and the diagnostics endpoints, so a
-	// single scrape target covers verdict counters, latency histograms
-	// and shard gauges.
+	// single scrape target covers verdict counters, latency histograms,
+	// shard gauges, the flight recorder and the request ledger.
+	diag := &telemetry.Diagnostics{
+		Registry: reg,
+		Events:   events,
+		Requests: requests,
+		Info: map[string]string{
+			"binary": "keyserverd",
+			"listen": *listen,
+			"corpus": *loadFrom,
+			"shards": fmt.Sprint(*shards),
+		},
+	}
 	mux := api.Mux()
-	diag := telemetry.NewMux(reg)
-	mux.Handle("/metrics", diag)
-	mux.Handle("/debug/", diag)
+	diagMux := diag.Mux()
+	mux.Handle("/metrics", diagMux)
+	mux.Handle("/debug/", diagMux)
+
+	// Steady-state serving keeps the kernel pool's cost ledger fresh:
+	// ingest paths publish on completion, but a scrape between ingests
+	// should still see current kernel_* gauges.
+	go func() {
+		tick := time.NewTicker(10 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				kernel.Default().Publish(reg)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -164,6 +228,27 @@ func main() {
 		}
 	}()
 	logf("keycheck API on http://%s/v1/check (stats /v1/stats, metrics /metrics)", ln.Addr())
+	events.Info(ctx, "serving", slog.String("addr", ln.Addr().String()))
+
+	// SIGUSR1 snapshots the process into a postmortem bundle: metrics,
+	// the flight recorder, the request ledger, goroutine and heap
+	// profiles, build and config info — one artifact to attach to an
+	// incident.
+	if *bundleTo != "" {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				if err := diag.WriteBundleFile(*bundleTo); err != nil {
+					fmt.Fprintln(os.Stderr, "keyserverd: debug bundle:", err)
+					events.Error(ctx, "debug bundle failed", slog.String("error", err.Error()))
+					continue
+				}
+				logf("debug bundle written to %s", *bundleTo)
+				events.Info(ctx, "debug bundle written", slog.String("path", *bundleTo))
+			}
+		}()
+	}
 
 	// SIGHUP folds new corpus data into the live index. The default path
 	// with -load re-reads the corpus file and ingests it as a delta —
@@ -179,6 +264,7 @@ func main() {
 		for range hup {
 			if !*fullHup && *loadFrom != "" {
 				logf("SIGHUP: ingesting corpus delta from %s...", *loadFrom)
+				events.Info(ctx, "sighup ingest", slog.String("corpus", *loadFrom))
 				f, err := os.Open(*loadFrom)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "keyserverd: reload failed, keeping current snapshot:", err)
@@ -216,6 +302,7 @@ func main() {
 
 	<-ctx.Done()
 	logf("shutting down: draining in-flight checks...")
+	events.Info(context.Background(), "shutdown", slog.Duration("drain_timeout", *drainFor))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

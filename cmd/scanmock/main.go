@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"net"
 	"os"
@@ -51,6 +52,9 @@ func main() {
 		chaosEvery = flag.Int("chaos-every", 0, "reset every nth connection per device (deterministic; n>=2 guarantees retry recovery)")
 		retries    = flag.Int("retries", 0, "scanner attempts per target (0 = default)")
 		keySeed    = flag.Int64("key-seed", 0, "seed for device key generation (0 = time-based; set for reproducible fleets)")
+		logLevel   = flag.String("log-level", "warn", "stderr structured-log floor: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "stderr structured-log encoding: text or json")
+		eventsN    = flag.Int("events", 1024, "flight-recorder capacity in events (/debug/events window)")
 	)
 	flag.Parse()
 	if *chaosRate < 0 || *chaosRate > 1 {
@@ -58,8 +62,27 @@ func main() {
 	}
 
 	reg := telemetry.New()
+	teeLevel, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fatal(fmt.Errorf("-log-format must be text or json, got %q", *logFormat))
+	}
+	events := telemetry.NewEventLog(telemetry.EventConfig{
+		Size:      *eventsN,
+		Level:     slog.LevelDebug,
+		Tee:       os.Stderr,
+		TeeFormat: *logFormat,
+		TeeLevel:  teeLevel,
+	})
 	if *listen != "" {
-		srv, err := telemetry.ListenAndServe(*listen, reg)
+		diag := &telemetry.Diagnostics{
+			Registry: reg,
+			Events:   events,
+			Info:     map[string]string{"binary": "scanmock"},
+		}
+		srv, err := diag.ListenAndServe(*listen)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,6 +163,7 @@ func main() {
 		MaxAttempts:    *retries,
 		RetrySeed:      *chaosSeed,
 		Metrics:        reg,
+		Events:         events,
 	})
 	if err != nil {
 		fatal(err)

@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,28 +70,31 @@ func gcdFaultPlan(crashes, straggles []string) (*faults.NodePlan, error) {
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 2016, "simulation seed")
-		scale    = flag.Float64("scale", 1.0, "population scale multiplier")
-		bits     = flag.Int("bits", 256, "RSA modulus size for simulated keys")
-		subsets  = flag.Int("subsets", 16, "batch GCD subsets k (>=2 distributes; 1 = single tree)")
-		mitm     = flag.Float64("mitm", 0.002, "per-device probability of the key-substituting middlebox")
-		bitErr   = flag.Float64("biterr", 0.0002, "per-observation bit-error probability")
-		other    = flag.Bool("other-protocols", true, "include SSH and mail-protocol corpora (Table 4)")
-		table    = flag.Int("table", 0, "print one paper table (1-5)")
-		figure   = flag.Int("figure", 0, "print one paper figure (1-10)")
-		all      = flag.Bool("all", false, "print every table and figure")
-		summary  = flag.Bool("summary", false, "print the headline-findings summary")
-		csvFor   = flag.String("csv", "", "emit the CSV time series for a vendor (e.g. Juniper)")
-		vendor   = flag.String("vendor", "", "print the time-series chart for one vendor")
-		sources  = flag.Bool("sources", false, "print the per-source corpus accounting")
-		export   = flag.String("export", "", "write per-vendor CSV series into a directory")
-		saveTo   = flag.String("save", "", "save the scan corpus to a file after the run")
-		loadFrom = flag.String("load", "", "analyze a previously saved scan corpus instead of simulating")
-		metrics  = flag.Bool("metrics", false, "print the per-stage pipeline report (wall, CPU, items in/out) after the run")
-		listen   = flag.String("listen", "", "serve live diagnostics on this address (/metrics, /debug/vars, /debug/pprof); :0 picks a port")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run's spans")
-		hold     = flag.Duration("hold", 0, "keep the diagnostics server alive this long after the run (for scraping short runs)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		seed      = flag.Int64("seed", 2016, "simulation seed")
+		scale     = flag.Float64("scale", 1.0, "population scale multiplier")
+		bits      = flag.Int("bits", 256, "RSA modulus size for simulated keys")
+		subsets   = flag.Int("subsets", 16, "batch GCD subsets k (>=2 distributes; 1 = single tree)")
+		mitm      = flag.Float64("mitm", 0.002, "per-device probability of the key-substituting middlebox")
+		bitErr    = flag.Float64("biterr", 0.0002, "per-observation bit-error probability")
+		other     = flag.Bool("other-protocols", true, "include SSH and mail-protocol corpora (Table 4)")
+		table     = flag.Int("table", 0, "print one paper table (1-5)")
+		figure    = flag.Int("figure", 0, "print one paper figure (1-10)")
+		all       = flag.Bool("all", false, "print every table and figure")
+		summary   = flag.Bool("summary", false, "print the headline-findings summary")
+		csvFor    = flag.String("csv", "", "emit the CSV time series for a vendor (e.g. Juniper)")
+		vendor    = flag.String("vendor", "", "print the time-series chart for one vendor")
+		sources   = flag.Bool("sources", false, "print the per-source corpus accounting")
+		export    = flag.String("export", "", "write per-vendor CSV series into a directory")
+		saveTo    = flag.String("save", "", "save the scan corpus to a file after the run")
+		loadFrom  = flag.String("load", "", "analyze a previously saved scan corpus instead of simulating")
+		metrics   = flag.Bool("metrics", false, "print the per-stage pipeline report (wall, CPU, items in/out) after the run")
+		listen    = flag.String("listen", "", "serve live diagnostics on this address (/metrics, /debug/vars, /debug/pprof); :0 picks a port")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the run's spans")
+		hold      = flag.Duration("hold", 0, "keep the diagnostics server alive this long after the run (for scraping short runs)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		logLevel  = flag.String("log-level", "warn", "stderr structured-log floor: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "stderr structured-log encoding: text or json")
+		eventsN   = flag.Int("events", 1024, "flight-recorder capacity in events (/debug/events window)")
 
 		gcdCrashes, gcdStraggles multiFlag
 		gcdStragglerTimeout      = flag.Duration("gcd-straggler-timeout", 0, "speculatively re-execute GCD nodes slower than this (0 disables)")
@@ -124,6 +128,22 @@ func main() {
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer()
 	}
+	teeLevel, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weakkeys:", err)
+		os.Exit(1)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "weakkeys: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(1)
+	}
+	events := telemetry.NewEventLog(telemetry.EventConfig{
+		Size:      *eventsN,
+		Level:     slog.LevelDebug,
+		Tee:       os.Stderr,
+		TeeFormat: *logFormat,
+		TeeLevel:  teeLevel,
+	})
 	writeTrace := func() {
 		if *traceOut == "" {
 			return
@@ -134,16 +154,22 @@ func main() {
 		}
 		logf("wrote trace to %s (load at chrome://tracing or ui.perfetto.dev)", *traceOut)
 	}
+	diagnostics := &telemetry.Diagnostics{
+		Registry: reg,
+		Events:   events,
+		Tracer:   tracer,
+		Info:     map[string]string{"binary": "weakkeys"},
+	}
 	var diag *telemetry.Server
 	if *listen != "" {
 		var err error
-		diag, err = telemetry.ListenAndServe(*listen, reg)
+		diag, err = diagnostics.ListenAndServe(*listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakkeys:", err)
 			os.Exit(1)
 		}
 		defer diag.Close()
-		logf("diagnostics on http://%s/metrics (also /debug/vars, /debug/pprof)", diag.Addr)
+		logf("diagnostics on http://%s/metrics (also /debug/vars, /debug/events, /debug/bundle, /debug/pprof)", diag.Addr)
 	}
 	holdOpen := func() {
 		if diag != nil && *hold > 0 {
@@ -189,6 +215,7 @@ func main() {
 			Subsets:             *subsets,
 			Progress:            progress,
 			Telemetry:           reg,
+			Events:              events,
 			Tracer:              tracer,
 			GCDFaults:           gcdFaults,
 			GCDStragglerTimeout: *gcdStragglerTimeout,
@@ -210,6 +237,7 @@ func main() {
 				}
 			},
 			Telemetry:           reg,
+			Events:              events,
 			Tracer:              tracer,
 			GCDFaults:           gcdFaults,
 			GCDStragglerTimeout: *gcdStragglerTimeout,

@@ -90,6 +90,11 @@ type Options struct {
 	// Tracer, when set, records nested spans (pipeline → stage → months
 	// and batch-GCD nodes) exportable as Chrome trace_event JSON.
 	Tracer *telemetry.Tracer
+	// Events, when set, is the structured event log the run narrates
+	// into: per-stage lifecycle events from the pipeline runner and the
+	// distgcd supervisor's crash/reassign/straggler incidents, all
+	// inspectable live via /debug/events or post mortem via a bundle.
+	Events *telemetry.EventLog
 	// GCDFaults, when set (and Subsets >= 2), injects node failures into
 	// the distributed batch GCD for chaos testing. The supervisor
 	// reassigns dead nodes' subsets; if a subset is abandoned anyway the
@@ -196,7 +201,7 @@ func Run(ctx context.Context, opts Options) (*Study, error) {
 		}},
 	}
 	stages = append(stages, s.analysisStages(&cliqueVendors, &extraIPKeys)...)
-	runner := &pipeline.Runner{Progress: opts.Progress, Metrics: opts.Telemetry, Tracer: opts.Tracer}
+	runner := &pipeline.Runner{Progress: opts.Progress, Metrics: opts.Telemetry, Tracer: opts.Tracer, Events: opts.Events}
 	report, err := runner.Run(ctx, stages...)
 	s.Report = report
 	s.publishCorpusGauges()
@@ -246,7 +251,7 @@ func AnalyzeStore(ctx context.Context, store *scanstore.Store, opts Options) (*S
 	s := &Study{Opts: opts, Store: store}
 	var noCliques map[string]string
 	var noExtra []string
-	runner := &pipeline.Runner{Progress: opts.Progress, Metrics: opts.Telemetry, Tracer: opts.Tracer}
+	runner := &pipeline.Runner{Progress: opts.Progress, Metrics: opts.Telemetry, Tracer: opts.Tracer, Events: opts.Events}
 	report, err := runner.Run(ctx, s.analysisStages(&noCliques, &noExtra)...)
 	s.Report = report
 	s.publishCorpusGauges()
@@ -283,6 +288,7 @@ func (s *Study) analysisStages(cliqueVendors *map[string]string, extraIPKeys *[]
 				results, stats, err := distgcd.Run(ctx, moduli, distgcd.Options{
 					Subsets:          opts.Subsets,
 					Metrics:          opts.Telemetry,
+					Events:           opts.Events,
 					Faults:           opts.GCDFaults,
 					StragglerTimeout: opts.GCDStragglerTimeout,
 					MaxReassign:      opts.GCDMaxReassign,

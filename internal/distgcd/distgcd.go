@@ -49,6 +49,11 @@ type Options struct {
 	// supervisor adds distgcd_node_failures_total,
 	// distgcd_node_reassignments_total and distgcd_stragglers_total.
 	Metrics *telemetry.Registry
+	// Events, when set, records the supervisor's structured incident
+	// narrative in the flight recorder: node crashes and subset
+	// reassignments at warn, straggler speculation at info, and subsets
+	// permanently lost at error — the who/when/why behind the counters.
+	Events *telemetry.EventLog
 	// Faults, when set, injects node failures for chaos testing: a node
 	// whose (id, phase) is armed dies at phase entry with
 	// faults.ErrNodeCrash (standing in for a machine loss) or stalls
@@ -120,7 +125,7 @@ func Run(ctx context.Context, moduli []*big.Int, opts Options) ([]batchgcd.Resul
 	}
 	opts.Metrics.Gauge("distgcd_moduli").Set(float64(len(moduli)))
 	opts.Metrics.Gauge("distgcd_subsets").Set(float64(k))
-	ins := newGCDInstruments(opts.Metrics)
+	ins := newGCDInstruments(opts.Metrics, opts.Events)
 
 	distinct, backrefs := dedup(moduli)
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,19 +54,22 @@ func (e *PartialError) Unwrap() []error {
 }
 
 // gcdInstruments is the supervisor's telemetry: failures detected,
-// subsets reassigned, stragglers speculatively duplicated.
+// subsets reassigned, stragglers speculatively duplicated, plus the
+// structured event log the incident narrative goes to.
 type gcdInstruments struct {
 	failures   *telemetry.Counter // distgcd_node_failures_total
 	reassign   *telemetry.Counter // distgcd_node_reassignments_total
 	stragglers *telemetry.Counter // distgcd_stragglers_total
+	events     *telemetry.EventLog
 	reassignN  atomic.Int64
 }
 
-func newGCDInstruments(reg *telemetry.Registry) *gcdInstruments {
+func newGCDInstruments(reg *telemetry.Registry, events *telemetry.EventLog) *gcdInstruments {
 	return &gcdInstruments{
 		failures:   reg.Counter("distgcd_node_failures_total"),
 		reassign:   reg.Counter("distgcd_node_reassignments_total"),
 		stragglers: reg.Counter("distgcd_stragglers_total"),
+		events:     events,
 	}
 }
 
@@ -114,12 +118,25 @@ func superviseOne(ctx context.Context, n *node, phase faults.Phase,
 			return nil, err
 		}
 		ins.failures.Inc()
+		ins.events.Warn(ctx, "node crashed",
+			slog.Int("node", n.id),
+			slog.String("phase", string(phase)),
+			slog.Int("tries", tries))
 		if tries >= opts.MaxReassign || ctx.Err() != nil {
+			ins.events.Error(ctx, "subset lost",
+				slog.Int("node", n.id),
+				slog.String("phase", string(phase)),
+				slog.Int("tries", tries),
+				slog.String("error", err.Error()))
 			return nil, err
 		}
 		ins.reassign.Inc()
 		ins.reassignN.Add(1)
 		attempt = attempt.replacement()
+		ins.events.Warn(ctx, "subset reassigned",
+			slog.Int("node", n.id),
+			slog.String("phase", string(phase)),
+			slog.Int("reassignment", tries+1))
 	}
 }
 
@@ -154,6 +171,9 @@ func raceStraggler(ctx context.Context, n *node,
 	case <-t.C:
 	}
 	ins.stragglers.Inc()
+	ins.events.Info(ctx, "straggler speculation",
+		slog.Int("node", n.id),
+		slog.Duration("after", opts.StragglerTimeout))
 	dup := spec(n)
 	go func() { ch <- outcome{dup, work(ctx, dup)} }()
 	first = <-ch

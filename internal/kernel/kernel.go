@@ -37,6 +37,7 @@ package kernel
 
 import (
 	"context"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -179,6 +180,13 @@ func (e *Engine) Run(ctx context.Context, n int, f func(i int, a *Arena)) error 
 	e.jobsN.Add(1)
 	e.ops.Add(int64(n))
 	chunk := e.chunkFor(n)
+	// One debug event per job (not per op): an ingest's request ID rides
+	// the context, so /debug/events can show which request drove which
+	// kernel fan-out.
+	telemetry.EventsFrom(ctx).Debug(ctx, "kernel job",
+		slog.Int("ops", n),
+		slog.Int("chunk", chunk),
+		slog.Bool("inline", e.workers <= 1 || n < minParallel || n <= chunk))
 	if e.workers <= 1 || n < minParallel || n <= chunk {
 		return e.runInline(ctx, n, chunk, f)
 	}

@@ -1,0 +1,219 @@
+package keycheck
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// newCorrelatedAPI builds an API whose Service carries the full
+// observability wiring: event log, request tracker, metrics.
+func newCorrelatedAPI(t *testing.T, limiter *RateLimiter) (*API, *Service, *telemetry.EventLog, *telemetry.RequestTracker) {
+	t.Helper()
+	events := telemetry.NewEventLog(telemetry.EventConfig{})
+	requests := telemetry.NewRequestTracker(32, 8)
+	snap := goldenSnapshot(t, 1)
+	svc := NewService(snap, Config{CacheSize: -1, Events: events, Requests: requests})
+	return NewAPI(svc, limiter, nil), svc, events, requests
+}
+
+func doCheck(mux *http.ServeMux, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
+	req.RemoteAddr = "192.0.2.1:4242"
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr
+}
+
+// TestRequestIDOnEveryResponse is satellite coverage for the request
+// correlation contract: every response — success, malformed, method not
+// allowed, rate limited, shedding — carries X-Request-Id, inbound IDs
+// are echoed, and error bodies repeat the ID as request_id.
+func TestRequestIDOnEveryResponse(t *testing.T) {
+	api, svc, events, _ := newCorrelatedAPI(t, nil)
+	mux := api.Mux()
+	clean := fmt.Sprintf(`{"modulus_hex":"%s"}`, modNc.Text(16))
+
+	// 200: a minted ID appears on the response even with nothing inbound.
+	rr := doCheck(mux, clean, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("check: HTTP %d (%s)", rr.Code, rr.Body)
+	}
+	minted := rr.Header().Get("X-Request-Id")
+	if minted == "" {
+		t.Fatal("200 response without X-Request-Id")
+	}
+
+	// Inbound X-Request-Id is echoed verbatim.
+	rr = doCheck(mux, clean, map[string]string{"X-Request-Id": "caller-7"})
+	if got := rr.Header().Get("X-Request-Id"); got != "caller-7" {
+		t.Fatalf("echo = %q, want caller-7", got)
+	}
+
+	// A traceparent trace-id is adopted when no X-Request-Id is present.
+	rr = doCheck(mux, clean, map[string]string{
+		"traceparent": "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+	})
+	if got := rr.Header().Get("X-Request-Id"); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("traceparent adoption = %q", got)
+	}
+
+	// 400: header plus request_id in the body plus a warn event.
+	rr = doCheck(mux, `{}`, map[string]string{"X-Request-Id": "bad-1"})
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed: HTTP %d", rr.Code)
+	}
+	if rr.Header().Get("X-Request-Id") != "bad-1" {
+		t.Fatal("400 response without echoed X-Request-Id")
+	}
+	if !strings.Contains(rr.Body.String(), `"request_id":"bad-1"`) {
+		t.Fatalf("400 body missing request_id: %s", rr.Body)
+	}
+	evs := events.EventsFilter(slog.LevelWarn, "bad-1", 0)
+	if len(evs) != 1 || evs[0].Msg != "request failed" {
+		t.Fatalf("flight recorder for bad-1 = %+v, want one request-failed warn", evs)
+	}
+
+	// 405: the wrapper covers non-POST too.
+	req := httptest.NewRequest(http.MethodGet, "/v1/check", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("X-Request-Id") == "" {
+		t.Fatalf("405: HTTP %d, X-Request-Id %q", rec.Code, rec.Header().Get("X-Request-Id"))
+	}
+
+	// 503: a draining server still correlates its refusals.
+	svc.Drain()
+	rr = doCheck(mux, clean, map[string]string{"X-Request-Id": "drained-1"})
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("drain: HTTP %d (%s)", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("X-Request-Id") != "drained-1" {
+		t.Fatal("503 response without echoed X-Request-Id")
+	}
+	if !strings.Contains(rr.Body.String(), `"request_id":"drained-1"`) {
+		t.Fatalf("503 body missing request_id: %s", rr.Body)
+	}
+	shed := events.EventsFilter(slog.LevelWarn, "drained-1", 0)
+	found := false
+	for _, ev := range shed {
+		if ev.Msg == "check shed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no check-shed event for drained-1: %+v", shed)
+	}
+}
+
+// TestRequestIDOnRateLimit: a 429 carries the correlation ID like any
+// other refusal.
+func TestRequestIDOnRateLimit(t *testing.T) {
+	api, _, _, _ := newCorrelatedAPI(t, NewRateLimiter(1, 1))
+	mux := api.Mux()
+	clean := fmt.Sprintf(`{"modulus_hex":"%s"}`, modNc.Text(16))
+
+	var limited *httptest.ResponseRecorder
+	for i := 0; i < 5; i++ {
+		r := doCheck(mux, clean, map[string]string{"X-Request-Id": fmt.Sprintf("limit-%d", i)})
+		if r.Code == http.StatusTooManyRequests {
+			limited = r
+			break
+		}
+	}
+	if limited == nil {
+		t.Fatal("never rate limited")
+	}
+	if limited.Header().Get("X-Request-Id") == "" {
+		t.Fatal("429 response without X-Request-Id")
+	}
+	if !strings.Contains(limited.Body.String(), `"request_id":"limit-`) {
+		t.Fatalf("429 body missing request_id: %s", limited.Body)
+	}
+}
+
+// TestCheckEventsAndTracker ties one successful check to its flight-
+// recorder events and its request-tracker record.
+func TestCheckEventsAndTracker(t *testing.T) {
+	api, _, events, requests := newCorrelatedAPI(t, nil)
+	mux := api.Mux()
+
+	rr := doCheck(mux, fmt.Sprintf(`{"modulus_hex":"%s"}`, modN1.Text(16)),
+		map[string]string{"X-Request-Id": "trace-me"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("check: HTTP %d (%s)", rr.Code, rr.Body)
+	}
+
+	evs := events.EventsFilter(slog.LevelDebug, "trace-me", 0)
+	if len(evs) == 0 {
+		t.Fatal("no events correlated to trace-me")
+	}
+	var served bool
+	for _, ev := range evs {
+		if ev.Msg == "check served" {
+			served = true
+			if ev.Attr("verdict") != "factored" {
+				t.Errorf("check served verdict = %q, want factored", ev.Attr("verdict"))
+			}
+		}
+	}
+	if !served {
+		t.Fatalf("no check-served event: %+v", evs)
+	}
+
+	st := requests.State()
+	if len(st.Recent) != 1 {
+		t.Fatalf("tracker recent = %+v, want one record", st.Recent)
+	}
+	rec := st.Recent[0]
+	if rec.Kind != "check" || rec.RequestID != "trace-me" || rec.Outcome != "factored" {
+		t.Fatalf("tracker record = %+v", rec)
+	}
+	if rec.Fields["verdict"] != "factored" {
+		t.Fatalf("tracker fields = %+v", rec.Fields)
+	}
+}
+
+// TestIngestCorrelation: the ingest path starts a tracked request and
+// leaves an ingest-report event under the same ID.
+func TestIngestCorrelation(t *testing.T) {
+	api, _, events, requests := newCorrelatedAPI(t, nil)
+	mux := api.Mux()
+
+	w1 := fmt.Sprintf(`{"moduli_hex":["%s"]}`, modNs.Text(16))
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(w1))
+	req.RemoteAddr = "192.0.2.7:4242"
+	req.Header.Set("X-Request-Id", "ingest-1")
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d (%s)", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("X-Request-Id") != "ingest-1" {
+		t.Fatal("ingest response without echoed X-Request-Id")
+	}
+
+	evs := events.EventsFilter(slog.LevelInfo, "ingest-1", 0)
+	var report bool
+	for _, ev := range evs {
+		if ev.Msg == "ingest report" {
+			report = true
+		}
+	}
+	if !report {
+		t.Fatalf("no ingest-report event for ingest-1: %+v", evs)
+	}
+
+	st := requests.State()
+	if len(st.Recent) != 1 || st.Recent[0].Kind != "ingest" || st.Recent[0].RequestID != "ingest-1" {
+		t.Fatalf("tracker recent = %+v", st.Recent)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/big"
 	"net"
 	"net/http"
@@ -35,6 +36,9 @@ type checkRequest struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's correlation ID so a client error
+	// line can be joined against /debug/events and debug bundles.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // statsResponse is the GET /v1/stats document.
@@ -98,34 +102,47 @@ func NewAPI(svc *Service, limiter *RateLimiter, reg *telemetry.Registry) *API {
 //	GET  /v1/exemplars  known factored/clean corpus keys (?n=8)
 func (a *API) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/check", a.handleCheck)
-	mux.HandleFunc("/v1/ingest", a.handleIngest)
-	mux.HandleFunc("/v1/stats", a.handleStats)
-	mux.HandleFunc("/v1/exemplars", a.handleExemplars)
+	mux.HandleFunc("/v1/check", a.withRequestID(a.handleCheck))
+	mux.HandleFunc("/v1/ingest", a.withRequestID(a.handleIngest))
+	mux.HandleFunc("/v1/stats", a.withRequestID(a.handleStats))
+	mux.HandleFunc("/v1/exemplars", a.withRequestID(a.handleExemplars))
 	return mux
+}
+
+// withRequestID resolves the request's correlation ID — a valid inbound
+// X-Request-Id, the trace-id of a W3C traceparent, or a freshly minted
+// one — threads it through the context, and echoes it on the response.
+// It wraps every route, so every response (200s, sheds, rate limits and
+// malformed bodies alike) carries X-Request-Id.
+func (a *API) withRequestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, _ := telemetry.HTTPRequestID(r)
+		w.Header().Set("X-Request-Id", id)
+		h(w, r.WithContext(telemetry.ContextWithRequestID(r.Context(), id)))
+	}
 }
 
 func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { a.requestSeconds.ObserveDuration(time.Since(start)) }()
 	if r.Method != http.MethodPost {
-		a.writeError(w, http.StatusMethodNotAllowed, errors.New("keycheck: POST only"))
+		a.writeError(w, r, http.StatusMethodNotAllowed, errors.New("keycheck: POST only"))
 		return
 	}
 	if !a.limiter.Allow(clientKey(r)) {
 		a.rateLimited.Inc()
 		w.Header().Set("Retry-After", "1")
-		a.writeError(w, http.StatusTooManyRequests, errors.New("keycheck: rate limit exceeded"))
+		a.writeError(w, r, http.StatusTooManyRequests, errors.New("keycheck: rate limit exceeded"))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
+		a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
 		return
 	}
 	n, err := parseSubmission(body)
 	if err != nil {
-		a.writeError(w, http.StatusBadRequest, err)
+		a.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	v, err := a.svc.Check(r.Context(), n)
@@ -133,9 +150,9 @@ func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", "1")
-			a.writeError(w, http.StatusServiceUnavailable, err)
+			a.writeError(w, r, http.StatusServiceUnavailable, err)
 		default:
-			a.writeError(w, http.StatusInternalServerError, err)
+			a.writeError(w, r, http.StatusInternalServerError, err)
 		}
 		return
 	}
@@ -156,35 +173,35 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { a.requestSeconds.ObserveDuration(time.Since(start)) }()
 	if r.Method != http.MethodPost {
-		a.writeError(w, http.StatusMethodNotAllowed, errors.New("keycheck: POST only"))
+		a.writeError(w, r, http.StatusMethodNotAllowed, errors.New("keycheck: POST only"))
 		return
 	}
 	if !a.allowIngest {
-		a.writeError(w, http.StatusForbidden, errors.New("keycheck: ingest disabled on this server"))
+		a.writeError(w, r, http.StatusForbidden, errors.New("keycheck: ingest disabled on this server"))
 		return
 	}
 	if !a.limiter.Allow(clientKey(r)) {
 		a.rateLimited.Inc()
 		w.Header().Set("Retry-After", "1")
-		a.writeError(w, http.StatusTooManyRequests, errors.New("keycheck: rate limit exceeded"))
+		a.writeError(w, r, http.StatusTooManyRequests, errors.New("keycheck: rate limit exceeded"))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
+		a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
 		return
 	}
 	var req ingestRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
+		a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
 		return
 	}
 	if len(req.ModuliHex) == 0 {
-		a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: moduli_hex is empty", ErrMalformed))
+		a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: moduli_hex is empty", ErrMalformed))
 		return
 	}
 	if len(req.ModuliHex) > maxIngestModuli {
-		a.writeError(w, http.StatusBadRequest,
+		a.writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("%w: %d moduli exceeds the per-request limit of %d", ErrMalformed, len(req.ModuliHex), maxIngestModuli))
 		return
 	}
@@ -195,14 +212,14 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i, hex := range req.ModuliHex {
 		n, err := ParseModulusHex(hex)
 		if err != nil {
-			a.writeError(w, http.StatusBadRequest, fmt.Errorf("moduli_hex[%d]: %w", i, err))
+			a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("moduli_hex[%d]: %w", i, err))
 			return
 		}
 		store.AddBareKeyObservation(clientKey(r), now, scanstore.SourceCensys, scanstore.HTTPS, n)
 	}
 	rep, err := a.svc.Ingest(r.Context(), BuildInput{Store: store})
 	if err != nil {
-		a.writeError(w, http.StatusInternalServerError, err)
+		a.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	a.writeJSON(w, http.StatusOK, rep)
@@ -245,7 +262,7 @@ func (a *API) handleExemplars(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 || v > 1024 {
-			a.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: n must be 1..1024", ErrMalformed))
+			a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: n must be 1..1024", ErrMalformed))
 			return
 		}
 		n = v
@@ -262,8 +279,17 @@ func (a *API) writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (a *API) writeError(w http.ResponseWriter, code int, err error) {
-	a.writeJSON(w, code, errorResponse{Error: err.Error()})
+// writeError renders a failure with the request's correlation ID in
+// both the body and (via withRequestID) the X-Request-Id header, and
+// leaves a warn-level event in the flight recorder so the operator can
+// look the ID up after the fact.
+func (a *API) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	id := telemetry.RequestIDFrom(r.Context())
+	a.svc.cfg.Events.Warn(r.Context(), "request failed",
+		slog.String("path", r.URL.Path),
+		slog.Int("status", code),
+		slog.String("error", err.Error()))
+	a.writeJSON(w, code, errorResponse{Error: err.Error(), RequestID: id})
 }
 
 // clientKey identifies the caller for rate limiting: the first

@@ -28,6 +28,8 @@ func newTestAPI(t *testing.T, limiter *RateLimiter, reg *telemetry.Registry) (*A
 func postCheck(mux *http.ServeMux, body string) *httptest.ResponseRecorder {
 	req := httptest.NewRequest(http.MethodPost, "/v1/check", strings.NewReader(body))
 	req.RemoteAddr = "192.0.2.1:4242"
+	// A fixed inbound ID keeps error bodies (which echo it) golden.
+	req.Header.Set("X-Request-Id", "golden-test")
 	rr := httptest.NewRecorder()
 	mux.ServeHTTP(rr, req)
 	return rr
@@ -78,7 +80,7 @@ func TestGoldenResponses(t *testing.T) {
 			name:     "malformed: empty envelope",
 			body:     `{}`,
 			wantCode: http.StatusBadRequest,
-			wantBody: `{"error":"keycheck: malformed submission: set one of modulus_hex, cert_pem, cert_der"}`,
+			wantBody: `{"error":"keycheck: malformed submission: set one of modulus_hex, cert_pem, cert_der","request_id":"golden-test"}`,
 		},
 	}
 	for _, tc := range cases {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"runtime"
 	"sync"
@@ -37,6 +38,14 @@ type Config struct {
 	CacheSize int
 	// Metrics receives the serving telemetry (nil disables).
 	Metrics *telemetry.Registry
+	// Events receives structured serving events — shed decisions,
+	// snapshot swaps, ingest reports — correlated with the request ID
+	// riding the context (nil disables).
+	Events *telemetry.EventLog
+	// Requests, when set, tracks per-request state for /debug/requests:
+	// in-flight checks and ingests plus the recent and slowest finished
+	// ones (nil disables).
+	Requests *telemetry.RequestTracker
 	// Faults, when set, injects per-check chaos: Refuse sheds the
 	// check, Stall holds its worker for FaultStall. Drives the chaos
 	// tests; nil in production.
@@ -125,6 +134,12 @@ func (s *Service) Publish(snap *Snapshot) {
 	s.cache.purge()
 	s.cfg.Metrics.Counter("keycheck_snapshot_swaps_total").Inc()
 	s.publishGauges(snap)
+	if snap != nil {
+		s.cfg.Events.Info(context.Background(), "snapshot published",
+			slog.Uint64("generation", snap.Generation()),
+			slog.Int("moduli", snap.moduli),
+			slog.Int("factored", snap.factored))
+	}
 }
 
 func (s *Service) publishGauges(snap *Snapshot) {
@@ -140,8 +155,9 @@ func (s *Service) publishGauges(snap *Snapshot) {
 	}
 }
 
-func (s *Service) shed(cause string) error {
+func (s *Service) shed(ctx context.Context, cause string) error {
 	s.cfg.Metrics.Counter(`keycheck_shed_total{cause="` + cause + `"}`).Inc()
+	s.cfg.Events.Warn(ctx, "check shed", slog.String("cause", cause))
 	if cause == "draining" {
 		return ErrDraining
 	}
@@ -151,10 +167,13 @@ func (s *Service) shed(cause string) error {
 // Check runs one modulus through the serving path: drain gate, fault
 // injection, cache, bounded worker pool, index lookup.
 func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
+	track := s.cfg.Requests.Start("check", telemetry.RequestIDFrom(ctx))
+	track.Set("modulus_bits", n.BitLen())
 	s.drainMu.Lock()
 	if s.draining {
 		s.drainMu.Unlock()
-		return Verdict{}, s.shed("draining")
+		track.Finish("shed:draining")
+		return Verdict{}, s.shed(ctx, "draining")
 	}
 	s.inflight.Add(1)
 	s.drainMu.Unlock()
@@ -165,7 +184,8 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 		switch d := s.cfg.Faults.Next(); {
 		case d.Crash || d.Action == faults.Refuse:
 			s.cfg.Metrics.Counter("keycheck_faults_injected_total").Inc()
-			return Verdict{}, s.shed("fault")
+			track.Finish("shed:fault")
+			return Verdict{}, s.shed(ctx, "fault")
 		case d.Action == faults.Stall:
 			s.cfg.Metrics.Counter("keycheck_faults_injected_total").Inc()
 			stall = s.cfg.FaultStall
@@ -184,24 +204,36 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 		s.cacheHits.Inc()
 		v.Cached = true
 		s.verdicts[v.Status].Inc()
+		track.Set("cache", "hit")
+		track.Set("verdict", string(v.Status))
+		track.Set("shard", v.Shard)
+		track.Finish(string(v.Status))
+		s.cfg.Events.Debug(ctx, "check served",
+			slog.String("verdict", string(v.Status)),
+			slog.Int("shard", v.Shard),
+			slog.Bool("cached", true))
 		return v, nil
 	}
 	s.cacheMisses.Inc()
+	track.Set("cache", "miss")
 
 	// Bounded pool: a slot now, or within QueueWait, or shed.
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		if s.cfg.QueueWait < 0 {
-			return Verdict{}, s.shed("queue")
+			track.Finish("shed:queue")
+			return Verdict{}, s.shed(ctx, "queue")
 		}
 		timer := time.NewTimer(s.cfg.QueueWait)
 		defer timer.Stop()
 		select {
 		case s.sem <- struct{}{}:
 		case <-timer.C:
-			return Verdict{}, s.shed("queue")
+			track.Finish("shed:queue")
+			return Verdict{}, s.shed(ctx, "queue")
 		case <-ctx.Done():
+			track.Finish("canceled")
 			return Verdict{}, ctx.Err()
 		}
 	}
@@ -215,6 +247,7 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 		select {
 		case <-time.After(stall):
 		case <-ctx.Done():
+			track.Finish("canceled")
 			return Verdict{}, ctx.Err()
 		}
 	}
@@ -227,6 +260,14 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 		s.prePutHook()
 	}
 	s.cache.put(key, snap.Generation(), v)
+	track.Set("verdict", string(v.Status))
+	track.Set("shard", v.Shard)
+	track.Finish(string(v.Status))
+	s.cfg.Events.Debug(ctx, "check served",
+		slog.String("verdict", string(v.Status)),
+		slog.Int("shard", v.Shard),
+		slog.Bool("cached", false),
+		slog.Duration("latency", time.Since(start)))
 	return v, nil
 }
 
@@ -239,12 +280,18 @@ func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, erro
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	reg := s.cfg.Metrics
+	track := s.cfg.Requests.Start("ingest", telemetry.RequestIDFrom(ctx))
+	// Carry the event log down the stack so the kernel engine can emit
+	// correlated job events without a signature change.
+	ctx = telemetry.ContextWithEvents(ctx, s.cfg.Events)
 	start := time.Now()
 	snap := s.idx.Snapshot()
 	ns, rep, err := snap.Ingest(ctx, in)
 	reg.Histogram("keycheck_ingest_seconds", telemetry.DurationBuckets).ObserveDuration(time.Since(start))
 	if err != nil {
 		reg.Counter(`keycheck_ingest_total{outcome="error"}`).Inc()
+		track.Finish("error")
+		s.cfg.Events.Error(ctx, "ingest failed", slog.String("error", err.Error()))
 		return rep, err
 	}
 	reg.Counter(`keycheck_ingest_total{outcome="ok"}`).Inc()
@@ -259,8 +306,21 @@ func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, erro
 		}
 		kernel.FromContext(ctx).Publish(reg)
 	}
+	track.Set("delta_moduli", rep.DeltaModuli)
+	track.Set("new_factored", rep.NewFactored)
+	track.Set("duplicates", rep.Duplicates)
+	s.cfg.Events.Info(ctx, "ingest report",
+		slog.Int("delta_moduli", rep.DeltaModuli),
+		slog.Int("duplicates", rep.Duplicates),
+		slog.Int("new_factored", rep.NewFactored),
+		slog.Int("refactored", rep.Refactored),
+		slog.Bool("published", ns != snap),
+		slog.Duration("latency", time.Since(start)))
 	if ns != snap {
 		s.Publish(ns)
+		track.Finish("published")
+	} else {
+		track.Finish("noop")
 	}
 	return rep, nil
 }
@@ -270,9 +330,16 @@ func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, erro
 // than once.
 func (s *Service) Drain() {
 	s.drainMu.Lock()
+	already := s.draining
 	s.draining = true
 	s.drainMu.Unlock()
+	if !already {
+		s.cfg.Events.Info(context.Background(), "drain started")
+	}
 	s.inflight.Wait()
+	if !already {
+		s.cfg.Events.Info(context.Background(), "drain complete")
+	}
 }
 
 // CacheLen returns the current verdict-cache size.

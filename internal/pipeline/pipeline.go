@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"text/tabwriter"
 	"time"
 
@@ -188,6 +189,12 @@ type Runner struct {
 	// stage (telemetry.SpanFrom), so stage internals can open child
 	// spans — the distgcd per-node tracks hang off it.
 	Tracer *telemetry.Tracer
+	// Events, when set, records structured stage lifecycle events in
+	// the flight recorder: start at debug, completion (with the stage's
+	// stats) at info, failure at error. The log also rides the stage
+	// context (telemetry.EventsFrom) so stage internals emit into the
+	// same recorder.
+	Events *telemetry.EventLog
 }
 
 // Run executes the stages sequentially. It returns the report for every
@@ -210,11 +217,15 @@ func (r *Runner) Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
 			return report, err
 		}
 		r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageStart})
-		stageCtx := ctx
+		stageCtx := telemetry.ContextWithEvents(ctx, r.Events)
 		sp := root.Child(stage.Name)
 		if sp != nil {
-			stageCtx = telemetry.ContextWithSpan(ctx, sp)
+			stageCtx = telemetry.ContextWithSpan(stageCtx, sp)
 		}
+		r.Events.Debug(stageCtx, "stage start",
+			slog.String("stage", stage.Name),
+			slog.Int("index", i),
+			slog.Int("total", len(stages)))
 		var st Stats
 		cpu0 := processCPU()
 		t0 := time.Now()
@@ -231,10 +242,21 @@ func (r *Runner) Run(ctx context.Context, stages ...Stage) (*RunReport, error) {
 		if err != nil {
 			err = fmt.Errorf("pipeline: stage %s: %w", stage.Name, err)
 			report.Stages = append(report.Stages, StageReport{Name: stage.Name, Stats: st, Err: err})
+			r.Events.Error(stageCtx, "stage failed",
+				slog.String("stage", stage.Name),
+				slog.Duration("wall", st.Wall),
+				slog.String("error", err.Error()))
 			r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageError, Stats: st, Err: err})
 			return report, err
 		}
 		report.Stages = append(report.Stages, StageReport{Name: stage.Name, Stats: st})
+		r.Events.Info(stageCtx, "stage done",
+			slog.String("stage", stage.Name),
+			slog.Duration("wall", st.Wall),
+			slog.Duration("cpu", st.CPU),
+			slog.Int64("items_in", st.ItemsIn),
+			slog.Int64("items_out", st.ItemsOut),
+			slog.Int64("bytes", st.Bytes))
 		r.emit(Event{Stage: stage.Name, Index: i, Total: len(stages), Kind: StageDone, Stats: st})
 	}
 	return report, nil

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"sync"
@@ -73,6 +74,11 @@ type Options struct {
 	// scanner_retry_budget_exhausted_total) — the continuous rate/error
 	// telemetry a ZMap-style scan loop is operated by.
 	Metrics *telemetry.Registry
+	// Events, when set, records structured retry/loss events in the
+	// flight recorder: each retry at debug (target, cause, attempt,
+	// backoff) and retry-budget exhaustion at warn — the per-target
+	// narrative behind the aggregate retry counters.
+	Events *telemetry.EventLog
 }
 
 // instruments is the set of metric handles a scan resolves once up
@@ -80,6 +86,7 @@ type Options struct {
 // handles are the nil no-op kind when Options.Metrics is unset.
 type instruments struct {
 	reg       *telemetry.Registry // kept for the cold retry path only
+	events    *telemetry.EventLog
 	dial      *telemetry.Histogram
 	handshake *telemetry.Histogram
 	targets   *telemetry.Counter
@@ -96,6 +103,7 @@ func (o Options) instruments() instruments {
 	reg := o.Metrics
 	return instruments{
 		reg:       reg,
+		events:    o.Events,
 		dial:      reg.Histogram("scanner_dial_seconds", telemetry.DurationBuckets),
 		handshake: reg.Histogram("scanner_handshake_seconds", telemetry.DurationBuckets),
 		targets:   reg.Counter("scanner_targets_total"),
@@ -259,10 +267,20 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments, budge
 		}
 		if !budget.take() {
 			ins.budgetOut.Inc()
+			ins.events.Warn(ctx, "scan retry budget exhausted",
+				slog.String("addr", addr),
+				slog.String("cause", Cause(res.Err)),
+				slog.Int("attempt", attempt))
 			return res
 		}
 		ins.retried(Cause(res.Err))
-		if !sleepCtx(ctx, jitter.jitter(backoff)) {
+		sleep := jitter.jitter(backoff)
+		ins.events.Debug(ctx, "scan retry",
+			slog.String("addr", addr),
+			slog.String("cause", Cause(res.Err)),
+			slog.Int("attempt", attempt),
+			slog.Duration("backoff", sleep))
+		if !sleepCtx(ctx, sleep) {
 			return res
 		}
 		backoff = doubleBackoff(backoff, maxBackoff(o))

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+)
+
+// WriteBundle snapshots the process's observable state into one gzipped
+// tar on w — the postmortem artifact attached to an incident instead of
+// a dozen hand-collected curl outputs. The bundle contains:
+//
+//	meta.json       capture time, go version, pid, goroutine count,
+//	                plus the Info map (build/config provided by the binary)
+//	buildinfo.txt   runtime/debug.ReadBuildInfo (module, vcs revision)
+//	metrics.prom    Prometheus text exposition of the registry
+//	metrics.json    expvar-style JSON snapshot of the registry
+//	events.json     the flight recorder window (structured event log)
+//	requests.json   in-flight, recent and slowest tracked requests
+//	trace.json      recorded spans as Chrome trace_event JSON
+//	goroutines.txt  the full goroutine dump (pprof debug=1)
+//	heap.pprof      the heap profile (binary pprof format)
+//
+// Sections whose source is nil are simply omitted, so a bundle can be
+// taken from any partially-wired Diagnostics.
+func (d *Diagnostics) WriteBundle(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	now := time.Now().UTC()
+
+	add := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: now,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return fmt.Errorf("telemetry: bundle %s: %w", name, err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			return fmt.Errorf("telemetry: bundle %s: %w", name, err)
+		}
+		return nil
+	}
+	addFrom := func(name string, render func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			return fmt.Errorf("telemetry: bundle %s: %w", name, err)
+		}
+		return add(name, buf.Bytes())
+	}
+
+	meta := map[string]any{
+		"created":    now.Format(time.RFC3339Nano),
+		"go_version": runtime.Version(),
+		"pid":        os.Getpid(),
+		"goroutines": runtime.NumGoroutine(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	if len(d.Info) > 0 {
+		meta["info"] = d.Info
+	}
+	metaJSON, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := add("meta.json", append(metaJSON, '\n')); err != nil {
+		return err
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if err := add("buildinfo.txt", []byte(bi.String())); err != nil {
+			return err
+		}
+	}
+	if d.Registry != nil {
+		snap := d.Registry.Snapshot()
+		if err := addFrom("metrics.prom", func(w io.Writer) error { return snap.WritePrometheus(w) }); err != nil {
+			return err
+		}
+		if err := addFrom("metrics.json", func(w io.Writer) error { return snap.WriteVars(w) }); err != nil {
+			return err
+		}
+	}
+	if d.Events != nil {
+		if err := addFrom("events.json", func(w io.Writer) error { return WriteEventsJSON(w, d.Events.Events()) }); err != nil {
+			return err
+		}
+	}
+	if d.Requests != nil {
+		if err := addFrom("requests.json", func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(d.Requests.State())
+		}); err != nil {
+			return err
+		}
+	}
+	if d.Tracer != nil {
+		if err := addFrom("trace.json", d.Tracer.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if err := addFrom("goroutines.txt", func(w io.Writer) error {
+		return pprof.Lookup("goroutine").WriteTo(w, 1)
+	}); err != nil {
+		return err
+	}
+	if err := addFrom("heap.pprof", func(w io.Writer) error {
+		return pprof.Lookup("heap").WriteTo(w, 0)
+	}); err != nil {
+		return err
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteBundleFile writes the bundle to path (the keyserverd
+// -debug-bundle signal path target).
+func (d *Diagnostics) WriteBundleFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteBundle(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

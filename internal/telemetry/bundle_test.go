@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// readBundle decompresses a bundle into name -> contents.
+func readBundle(t *testing.T, data []byte) map[string][]byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	out := make(map[string][]byte)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle tar: %v", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("bundle entry %s: %v", hdr.Name, err)
+		}
+		out[hdr.Name] = body
+	}
+	return out
+}
+
+func TestWriteBundleRoundTrip(t *testing.T) {
+	reg := New()
+	reg.Counter("checks_total").Add(3)
+	events := NewEventLog(EventConfig{Clock: fixedClock()})
+	ctx := ContextWithRequestID(context.Background(), "bundle-req")
+	events.Info(ctx, "check served", slog.String("verdict", "clean"))
+	requests := NewRequestTracker(8, 4)
+	requests.Start("check", "bundle-req").Finish("clean")
+
+	d := &Diagnostics{
+		Registry: reg,
+		Events:   events,
+		Requests: requests,
+		Info:     map[string]string{"binary": "test"},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	files := readBundle(t, buf.Bytes())
+
+	for _, want := range []string{"meta.json", "metrics.prom", "metrics.json", "events.json", "requests.json", "goroutines.txt", "heap.pprof"} {
+		if _, ok := files[want]; !ok {
+			t.Errorf("bundle missing %s (has %v)", want, keys(files))
+		}
+	}
+
+	var meta map[string]any
+	if err := json.Unmarshal(files["meta.json"], &meta); err != nil {
+		t.Fatalf("meta.json: %v", err)
+	}
+	info, _ := meta["info"].(map[string]any)
+	if info["binary"] != "test" {
+		t.Fatalf("meta info = %v", meta["info"])
+	}
+
+	if !strings.Contains(string(files["metrics.prom"]), "checks_total 3") {
+		t.Fatalf("metrics.prom missing counter:\n%s", files["metrics.prom"])
+	}
+
+	var evs []map[string]any
+	if err := json.Unmarshal(files["events.json"], &evs); err != nil {
+		t.Fatalf("events.json: %v", err)
+	}
+	if len(evs) != 1 || evs[0]["msg"] != "check served" || evs[0]["request_id"] != "bundle-req" {
+		t.Fatalf("events.json = %v", evs)
+	}
+
+	var st TrackerState
+	if err := json.Unmarshal(files["requests.json"], &st); err != nil {
+		t.Fatalf("requests.json: %v", err)
+	}
+	if len(st.Recent) != 1 || st.Recent[0].RequestID != "bundle-req" {
+		t.Fatalf("requests.json recent = %+v", st.Recent)
+	}
+
+	if !strings.Contains(string(files["goroutines.txt"]), "goroutine") {
+		t.Fatal("goroutines.txt does not look like a goroutine dump")
+	}
+}
+
+func TestWriteBundlePartialDiagnostics(t *testing.T) {
+	// Nil pillars are omitted, not fatal.
+	d := &Diagnostics{}
+	var buf bytes.Buffer
+	if err := d.WriteBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	files := readBundle(t, buf.Bytes())
+	if _, ok := files["meta.json"]; !ok {
+		t.Fatal("bundle missing meta.json")
+	}
+	for _, absent := range []string{"metrics.prom", "events.json", "requests.json", "trace.json"} {
+		if _, ok := files[absent]; ok {
+			t.Errorf("bundle has %s despite nil source", absent)
+		}
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context yields %q", got)
+	}
+	ctx := ContextWithRequestID(context.Background(), "abc")
+	if got := RequestIDFrom(ctx); got != "abc" {
+		t.Fatalf("round trip = %q, want abc", got)
+	}
+	// Empty ID is not stored.
+	if ctx2 := ContextWithRequestID(context.Background(), ""); RequestIDFrom(ctx2) != "" {
+		t.Fatal("empty ID was stored")
+	}
+}
+
+func TestMintRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintRequestID()
+		if !validRequestID(id) {
+			t.Fatalf("minted ID %q is not valid by our own rules", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate minted ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	valid := []string{"a", "abc-123", "trace.id:0", "A_Z", strings.Repeat("x", 64)}
+	for _, s := range valid {
+		if !validRequestID(s) {
+			t.Errorf("validRequestID(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", strings.Repeat("x", 65), "has space", "semi;colon", "new\nline", "ütf8"}
+	for _, s := range invalid {
+		if validRequestID(s) {
+			t.Errorf("validRequestID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestHTTPRequestID(t *testing.T) {
+	// Valid inbound header wins.
+	r := httptest.NewRequest("POST", "/v1/check", nil)
+	r.Header.Set("X-Request-Id", "client-id-1")
+	id, inbound := HTTPRequestID(r)
+	if id != "client-id-1" || !inbound {
+		t.Fatalf("got %q inbound=%v, want client-id-1 inbound=true", id, inbound)
+	}
+
+	// Hostile header is replaced by a minted ID.
+	r = httptest.NewRequest("POST", "/v1/check", nil)
+	r.Header.Set("X-Request-Id", "evil\ninjection")
+	id, inbound = HTTPRequestID(r)
+	if inbound || !validRequestID(id) {
+		t.Fatalf("hostile header: got %q inbound=%v, want minted", id, inbound)
+	}
+
+	// traceparent trace-id is accepted when no X-Request-Id.
+	r = httptest.NewRequest("POST", "/v1/check", nil)
+	r.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	id, inbound = HTTPRequestID(r)
+	if id != "4bf92f3577b34da6a3ce929d0e0e4736" || !inbound {
+		t.Fatalf("traceparent: got %q inbound=%v", id, inbound)
+	}
+
+	// Nothing inbound: minted.
+	r = httptest.NewRequest("POST", "/v1/check", nil)
+	id, inbound = HTTPRequestID(r)
+	if inbound || id == "" {
+		t.Fatalf("bare request: got %q inbound=%v, want minted", id, inbound)
+	}
+}
+
+func TestTraceparentTraceID(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{"", ""},
+		{"garbage", ""},
+		// All-zero trace-id is invalid per W3C.
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", ""},
+		// Uppercase hex is invalid per W3C.
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", ""},
+		// Misplaced separators.
+		{"004bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", ""},
+	}
+	for _, c := range cases {
+		if got := traceparentTraceID(c.in); got != c.want {
+			t.Errorf("traceparentTraceID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContextWithEvents(t *testing.T) {
+	if got := EventsFrom(context.Background()); got != nil {
+		t.Fatalf("empty context yields %v", got)
+	}
+	l := NewEventLog(EventConfig{})
+	ctx := ContextWithEvents(context.Background(), l)
+	if EventsFrom(ctx) != l {
+		t.Fatal("event log did not round-trip through context")
+	}
+	// nil log is not stored; EventsFrom still returns a usable nil.
+	ctx = ContextWithEvents(context.Background(), nil)
+	EventsFrom(ctx).Info(ctx, "no-op") // must not panic
+}

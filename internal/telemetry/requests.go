@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RequestTracker keeps the live request ledger behind /debug/requests,
+// in the spirit of golang.org/x/net/trace: every tracked request is
+// visible while in flight, the newest finished ones are kept in a
+// bounded ring, and the slowest ones are kept in a bounded leaderboard
+// so a latency spike is still explainable after the ring has churned.
+//
+// A nil *RequestTracker is valid: Start returns a nil *ActiveRequest
+// whose methods are no-ops, so tracking disabled costs one branch.
+type RequestTracker struct {
+	mu         sync.Mutex
+	nextSeq    uint64
+	active     map[uint64]*ActiveRequest
+	recent     []RequestRecord // ring, position recentPos
+	recentPos  int
+	recentFull bool
+	slowest    []RequestRecord // sorted by Latency descending
+	maxSlowest int
+	clock      func() time.Time
+}
+
+// RequestRecord is one finished (or in-flight) request as rendered by
+// /debug/requests and the debug bundle.
+type RequestRecord struct {
+	Seq       uint64         `json:"seq"`
+	Kind      string         `json:"kind"`
+	RequestID string         `json:"request_id"`
+	Start     time.Time      `json:"start"`
+	LatencyMS float64        `json:"latency_ms"`
+	Outcome   string         `json:"outcome,omitempty"`
+	Fields    map[string]any `json:"fields,omitempty"`
+}
+
+// NewRequestTracker builds a tracker keeping the last `recent` finished
+// requests (default 128) and the `slowest` slowest (default 32).
+func NewRequestTracker(recent, slowest int) *RequestTracker {
+	if recent <= 0 {
+		recent = 128
+	}
+	if slowest <= 0 {
+		slowest = 32
+	}
+	return &RequestTracker{
+		active:     make(map[uint64]*ActiveRequest),
+		recent:     make([]RequestRecord, recent),
+		maxSlowest: slowest,
+		clock:      time.Now,
+	}
+}
+
+// ActiveRequest is one in-flight tracked request. Finish it exactly
+// once. A nil *ActiveRequest is a valid no-op handle.
+type ActiveRequest struct {
+	t   *RequestTracker
+	rec RequestRecord
+}
+
+// Start begins tracking one request of the given kind ("check",
+// "ingest") under its correlation ID (nil-safe).
+func (t *RequestTracker) Start(kind, requestID string) *ActiveRequest {
+	if t == nil {
+		return nil
+	}
+	a := &ActiveRequest{t: t}
+	t.mu.Lock()
+	t.nextSeq++
+	a.rec = RequestRecord{Seq: t.nextSeq, Kind: kind, RequestID: requestID, Start: t.clock()}
+	t.active[a.rec.Seq] = a
+	t.mu.Unlock()
+	return a
+}
+
+// Set annotates the request with one key/value shown in /debug/requests
+// (verdict, shard, cache hit, ...) (nil-safe).
+func (a *ActiveRequest) Set(key string, v any) {
+	if a == nil {
+		return
+	}
+	a.t.mu.Lock()
+	if a.rec.Fields == nil {
+		a.rec.Fields = make(map[string]any, 4)
+	}
+	a.rec.Fields[key] = v
+	a.t.mu.Unlock()
+}
+
+// Finish completes the request with an outcome ("factored", "clean",
+// "shed:queue", "error", ...), moving it from the active set into the
+// recent ring and, if it qualifies, the slowest leaderboard (nil-safe).
+func (a *ActiveRequest) Finish(outcome string) {
+	if a == nil {
+		return
+	}
+	t := a.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.active[a.rec.Seq]; !ok {
+		return // double Finish
+	}
+	delete(t.active, a.rec.Seq)
+	a.rec.Outcome = outcome
+	a.rec.LatencyMS = float64(t.clock().Sub(a.rec.Start)) / float64(time.Millisecond)
+	t.recent[t.recentPos] = a.rec
+	t.recentPos++
+	if t.recentPos == len(t.recent) {
+		t.recentPos, t.recentFull = 0, true
+	}
+	// Insert into the slowest leaderboard if it beats the current tail.
+	if len(t.slowest) < t.maxSlowest || a.rec.LatencyMS > t.slowest[len(t.slowest)-1].LatencyMS {
+		t.slowest = append(t.slowest, a.rec)
+		sort.Slice(t.slowest, func(i, j int) bool { return t.slowest[i].LatencyMS > t.slowest[j].LatencyMS })
+		if len(t.slowest) > t.maxSlowest {
+			t.slowest = t.slowest[:t.maxSlowest]
+		}
+	}
+}
+
+// TrackerState is the /debug/requests document.
+type TrackerState struct {
+	// Active lists in-flight requests, oldest first; LatencyMS is the
+	// age so far and Outcome is empty.
+	Active []RequestRecord `json:"active"`
+	// Recent lists the newest finished requests, newest first.
+	Recent []RequestRecord `json:"recent"`
+	// Slowest lists the slowest finished requests, slowest first.
+	Slowest []RequestRecord `json:"slowest"`
+}
+
+// State snapshots the tracker (nil-safe).
+func (t *RequestTracker) State() TrackerState {
+	var st TrackerState
+	if t == nil {
+		return st
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	for _, a := range t.active {
+		rec := a.rec
+		rec.LatencyMS = float64(now.Sub(rec.Start)) / float64(time.Millisecond)
+		st.Active = append(st.Active, rec)
+	}
+	sort.Slice(st.Active, func(i, j int) bool { return st.Active[i].Seq < st.Active[j].Seq })
+	n := t.recentPos
+	if t.recentFull {
+		n = len(t.recent)
+	}
+	for i := 0; i < n; i++ {
+		// Walk backwards from the write position: newest first.
+		idx := (t.recentPos - 1 - i + len(t.recent)) % len(t.recent)
+		st.Recent = append(st.Recent, t.recent[idx])
+	}
+	st.Slowest = append(st.Slowest, t.slowest...)
+	return st
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestTrackerNilSafe(t *testing.T) {
+	var tr *RequestTracker
+	a := tr.Start("check", "id")
+	if a != nil {
+		t.Fatalf("nil tracker Start = %v, want nil", a)
+	}
+	a.Set("k", 1) // must not panic
+	a.Finish("ok")
+	st := tr.State()
+	if len(st.Active)+len(st.Recent)+len(st.Slowest) != 0 {
+		t.Fatalf("nil tracker State = %+v, want empty", st)
+	}
+}
+
+func TestRequestTrackerLifecycle(t *testing.T) {
+	tr := NewRequestTracker(4, 2)
+	clock := fixedClock()
+	tr.clock = clock
+
+	a := tr.Start("check", "req-1")
+	a.Set("verdict", "factored")
+
+	st := tr.State()
+	if len(st.Active) != 1 || st.Active[0].RequestID != "req-1" || st.Active[0].Outcome != "" {
+		t.Fatalf("active = %+v", st.Active)
+	}
+
+	a.Finish("factored")
+	st = tr.State()
+	if len(st.Active) != 0 {
+		t.Fatalf("still active after Finish: %+v", st.Active)
+	}
+	if len(st.Recent) != 1 || st.Recent[0].Outcome != "factored" {
+		t.Fatalf("recent = %+v", st.Recent)
+	}
+	if st.Recent[0].Fields["verdict"] != "factored" {
+		t.Fatalf("fields lost: %+v", st.Recent[0].Fields)
+	}
+	if st.Recent[0].LatencyMS <= 0 {
+		t.Fatalf("latency = %v, want > 0", st.Recent[0].LatencyMS)
+	}
+
+	// Double finish is a no-op, not a duplicate record.
+	a.Finish("again")
+	if st = tr.State(); len(st.Recent) != 1 {
+		t.Fatalf("double Finish duplicated the record: %+v", st.Recent)
+	}
+}
+
+func TestRequestTrackerRecentRingAndSlowest(t *testing.T) {
+	tr := NewRequestTracker(4, 2)
+	// Each request takes (i+1) clock ticks via one extra State-free Set;
+	// instead drive latency directly with a controllable clock.
+	now := time.Unix(1000, 0)
+	tr.clock = func() time.Time { return now }
+
+	latencies := []time.Duration{5, 1, 9, 3, 7, 2} // milliseconds
+	for i, ms := range latencies {
+		start := now
+		a := tr.Start("check", fmt.Sprintf("req-%d", i))
+		now = start.Add(ms * time.Millisecond)
+		a.Finish("ok")
+	}
+
+	st := tr.State()
+	// Recent keeps the newest 4, newest first.
+	if len(st.Recent) != 4 {
+		t.Fatalf("recent has %d, want 4", len(st.Recent))
+	}
+	wantOrder := []string{"req-5", "req-4", "req-3", "req-2"}
+	for i, want := range wantOrder {
+		if st.Recent[i].RequestID != want {
+			t.Fatalf("recent[%d] = %q, want %q (full: %+v)", i, st.Recent[i].RequestID, want, st.Recent)
+		}
+	}
+	// Slowest keeps the top 2 by latency: 9ms (req-2) then 7ms (req-4).
+	if len(st.Slowest) != 2 {
+		t.Fatalf("slowest has %d, want 2", len(st.Slowest))
+	}
+	if st.Slowest[0].RequestID != "req-2" || st.Slowest[1].RequestID != "req-4" {
+		t.Fatalf("slowest = %+v", st.Slowest)
+	}
+}
+
+func TestRequestTrackerConcurrent(t *testing.T) {
+	tr := NewRequestTracker(64, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := tr.Start("check", fmt.Sprintf("w%d-%d", w, i))
+				a.Set("i", i)
+				a.Finish("ok")
+			}
+		}(w)
+	}
+	// Readers race the writers; run under -race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.State()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	st := tr.State()
+	if len(st.Active) != 0 {
+		t.Fatalf("%d requests leaked in active", len(st.Active))
+	}
+	if len(st.Recent) != 64 {
+		t.Fatalf("recent has %d, want 64", len(st.Recent))
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -78,6 +79,92 @@ func TestDiagnosticsRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index looks wrong:\n%.200s", body)
+	}
+}
+
+// TestDebugEndpoints drives the observability additions: the event
+// window with its filters, the request ledger, and the bundle download.
+func TestDebugEndpoints(t *testing.T) {
+	reg := New()
+	events := NewEventLog(EventConfig{Clock: fixedClock()})
+	requests := NewRequestTracker(8, 4)
+	d := &Diagnostics{Registry: reg, Events: events, Requests: requests}
+
+	ctx := ContextWithRequestID(context.Background(), "req-a")
+	events.Info(ctx, "check served")
+	events.Warn(context.Background(), "check shed")
+
+	a := requests.Start("check", "req-a")
+	a.Finish("clean")
+
+	ts := httptest.NewServer(d.Mux())
+	defer ts.Close()
+
+	code, body := fetch(t, ts.URL+"/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events status = %d", code)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/debug/events not JSON: %v\n%s", err, body)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("/debug/events returned %d events, want 2", len(evs))
+	}
+
+	// level filter keeps only the warn.
+	_, body = fetch(t, ts.URL+"/debug/events?level=warn")
+	evs = nil
+	json.Unmarshal([]byte(body), &evs)
+	if len(evs) != 1 || evs[0]["msg"] != "check shed" {
+		t.Fatalf("level=warn gave %v", evs)
+	}
+
+	// request_id filter keeps only the correlated event.
+	_, body = fetch(t, ts.URL+"/debug/events?request_id=req-a")
+	evs = nil
+	json.Unmarshal([]byte(body), &evs)
+	if len(evs) != 1 || evs[0]["msg"] != "check served" {
+		t.Fatalf("request_id filter gave %v", evs)
+	}
+
+	// Bad parameters are 400s.
+	if code, _ = fetch(t, ts.URL+"/debug/events?level=loud"); code != http.StatusBadRequest {
+		t.Fatalf("level=loud status = %d, want 400", code)
+	}
+	if code, _ = fetch(t, ts.URL+"/debug/events?n=zero"); code != http.StatusBadRequest {
+		t.Fatalf("n=zero status = %d, want 400", code)
+	}
+
+	code, body = fetch(t, ts.URL+"/debug/requests")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/requests status = %d", code)
+	}
+	var st TrackerState
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/debug/requests not JSON: %v", err)
+	}
+	if len(st.Recent) != 1 || st.Recent[0].RequestID != "req-a" {
+		t.Fatalf("/debug/requests recent = %+v", st.Recent)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/gzip" {
+		t.Fatalf("/debug/bundle Content-Type = %q", got)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := readBundle(t, raw)
+	for _, want := range []string{"meta.json", "metrics.prom", "events.json", "requests.json"} {
+		if _, ok := files[want]; !ok {
+			t.Errorf("/debug/bundle missing %s", want)
+		}
 	}
 }
 

@@ -2,7 +2,9 @@
 # Key-check service smoke test: start keyserverd on a small simulated
 # study, ask it about one known-weak and one known-clean corpus key (via
 # /v1/exemplars, so the test needs no corpus file), reject a malformed
-# submission, and assert the serving telemetry is populated.
+# submission, assert the serving telemetry is populated, follow an
+# ingest's request ID into /debug/events and /debug/requests, and verify
+# /debug/bundle round-trips as a gzipped tar.
 set -eu
 
 TMP="$(mktemp -d)"
@@ -59,9 +61,12 @@ INGEST_W2=7eabc8fe480ede7475777dbe615c3dcf
 curl -sf -X POST -d "{\"modulus_hex\":\"$INGEST_W1\"}" "http://$ADDR/v1/check" >"$TMP/pre_ingest"
 grep -q '"status":"clean"' "$TMP/pre_ingest" && grep -q '"known":false' "$TMP/pre_ingest" \
     || { echo "keyserver-smoke: fresh key already known before ingest" >&2; cat "$TMP/pre_ingest" >&2; exit 1; }
-curl -sf -X POST -d "{\"moduli_hex\":[\"$INGEST_W1\",\"$INGEST_W2\"]}" "http://$ADDR/v1/ingest" >"$TMP/ingest"
+curl -sf -D "$TMP/ingest_hdrs" -H 'X-Request-Id: smoke-ingest-1' \
+    -X POST -d "{\"moduli_hex\":[\"$INGEST_W1\",\"$INGEST_W2\"]}" "http://$ADDR/v1/ingest" >"$TMP/ingest"
 grep -q '"delta_moduli":2' "$TMP/ingest" && grep -q '"new_factored":2' "$TMP/ingest" \
     || { echo "keyserver-smoke: ingest did not factor the weak pair" >&2; cat "$TMP/ingest" >&2; exit 1; }
+grep -qi '^x-request-id: smoke-ingest-1' "$TMP/ingest_hdrs" \
+    || { echo "keyserver-smoke: ingest response did not echo X-Request-Id" >&2; cat "$TMP/ingest_hdrs" >&2; exit 1; }
 curl -sf -X POST -d "{\"modulus_hex\":\"$INGEST_W1\"}" "http://$ADDR/v1/check" >"$TMP/post_ingest"
 grep -q '"status":"factored"' "$TMP/post_ingest" && grep -q '"factor_p_hex"' "$TMP/post_ingest" \
     || { echo "keyserver-smoke: ingested weak key not factored" >&2; cat "$TMP/post_ingest" >&2; exit 1; }
@@ -80,6 +85,28 @@ for METRIC in 'keycheck_checks_total{verdict="factored"}' \
         || { echo "keyserver-smoke: /metrics missing $METRIC" >&2; cat "$TMP/metrics" >&2; exit 1; }
 done
 
+# The flight recorder must hold the ingest's events under the request
+# ID the client sent, queryable by that ID.
+curl -sf "http://$ADDR/debug/events?request_id=smoke-ingest-1" >"$TMP/events"
+grep -q '"msg":"ingest report"' "$TMP/events" \
+    || { echo "keyserver-smoke: /debug/events missing the correlated ingest event" >&2; cat "$TMP/events" >&2; exit 1; }
+grep -q '"request_id":"smoke-ingest-1"' "$TMP/events" \
+    || { echo "keyserver-smoke: /debug/events event lacks the request ID" >&2; cat "$TMP/events" >&2; exit 1; }
+
+# /debug/requests tracks the finished ingest under the same ID.
+curl -sf "http://$ADDR/debug/requests" | grep -q '"request_id": "smoke-ingest-1"' \
+    || { echo "keyserver-smoke: /debug/requests missing the ingest record" >&2; exit 1; }
+
+# The postmortem bundle must be a valid gzipped tar carrying the
+# metrics, the event log and a goroutine dump.
+curl -sf "http://$ADDR/debug/bundle" >"$TMP/bundle.tar.gz"
+tar -tzf "$TMP/bundle.tar.gz" >"$TMP/bundle_list" \
+    || { echo "keyserver-smoke: /debug/bundle is not a valid gzip tar" >&2; exit 1; }
+for ENTRY in meta.json metrics.prom events.json requests.json goroutines.txt; do
+    grep -q "^$ENTRY\$" "$TMP/bundle_list" \
+        || { echo "keyserver-smoke: bundle missing $ENTRY" >&2; cat "$TMP/bundle_list" >&2; exit 1; }
+done
+
 kill "$KS_PID" 2>/dev/null || true
 wait "$KS_PID" 2>/dev/null || true
 
@@ -87,4 +114,4 @@ wait "$KS_PID" 2>/dev/null || true
 grep -q 'drained' "$TMP/stderr" \
     || { echo "keyserver-smoke: no graceful drain on SIGTERM" >&2; cat "$TMP/stderr" >&2; exit 1; }
 
-echo "keyserver smoke ok (weak+clean+malformed+ingest flows correct at $ADDR)"
+echo "keyserver smoke ok (weak+clean+malformed+ingest+correlation+bundle flows correct at $ADDR)"
