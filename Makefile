@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke bench-telemetry bench-keyserver bench-ingest bench-gcd
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos bench-telemetry bench-keyserver bench-ingest bench-gcd bench-cluster
 
 # ci is the full gate: compile everything, vet, run the test suite under
 # the race detector (which includes every fault-injection test), smoke-
-# test the live telemetry path, the seeded-chaos recovery path and the
-# online key-check service end to end, guard the instrumentation
+# test the live telemetry path, the seeded-chaos recovery path, the
+# online key-check service and the replicated cluster (routing, sync and
+# a replica-kill failover) end to end, guard the instrumentation
 # hot-path cost, and hold the batch-GCD kernel to its scaling and
 # allocation floors.
-ci: build vet race smoke chaos-smoke keyserver-smoke bench-telemetry bench-gcd
+ci: build vet race smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos bench-telemetry bench-gcd
 
 build:
 	$(GO) build ./...
@@ -51,6 +52,26 @@ chaos-smoke:
 # /debug/bundle gzip-tar round trip.
 keyserver-smoke:
 	sh ./scripts/keyserver-smoke.sh
+
+# cluster-smoke starts three partial-snapshot keyserverd replicas
+# behind keyrouter and checks routed verdicts (weak/clean/novel), the
+# scatter-gather coverage, a routed ingest, journal-pull sync
+# propagation to every shard owner, and a non-degraded failover after
+# killing one replica.
+cluster-smoke:
+	sh ./scripts/cluster-smoke.sh
+
+# cluster-chaos drives keyload through keyrouter while one of three
+# replicas is SIGKILLed mid-run: every check must still be answered
+# (zero lost verdicts) and the router telemetry must show the failover.
+cluster-chaos:
+	sh ./scripts/cluster-chaos.sh
+
+# bench-cluster benchmarks keyload through keyrouter against three
+# replicas and writes BENCH_cluster.json (floor: 1000 checks/sec
+# aggregate through the routed scatter-gather path).
+bench-cluster:
+	sh ./scripts/bench-cluster.sh
 
 # bench-keyserver drives keyload against a local keyserverd and writes
 # BENCH_keyserver.json (p50/p99 latency, checks/sec; floor 1000/sec).

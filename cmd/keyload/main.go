@@ -7,8 +7,15 @@
 // factored and known clean corpus keys) plus freshly generated novel
 // moduli that exercise the GCD path:
 //
+// Transient transport failures (dial refused, connection reset,
+// timeout) and backpressure statuses (503/502/504/429) are retried with
+// per-worker exponential backoff when -retries is set — the chaos
+// harness drives a cluster through a replica SIGKILL and still expects
+// zero lost verdicts.
+//
 //	keyload -addr 127.0.0.1:8446 -c 16 -duration 10s
 //	keyload -addr 127.0.0.1:8446 -json BENCH_keyserver.json
+//	keyload -addr 127.0.0.1:9000 -retries 8 -bench-name cluster
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/factorable/weakkeys/internal/scanner"
 )
 
 type exemplars struct {
@@ -37,19 +46,25 @@ type verdict struct {
 
 // result is the machine-readable benchmark document (-json).
 type result struct {
-	Benchmark    string         `json:"benchmark"`
-	Concurrency  int            `json:"concurrency"`
-	Checks       int            `json:"checks"`
-	Errors       int            `json:"errors"`
-	Seconds      float64        `json:"seconds"`
-	ChecksPerSec float64        `json:"checks_per_sec"`
-	P50Ms        float64        `json:"p50_ms"`
-	P90Ms        float64        `json:"p90_ms"`
-	P99Ms        float64        `json:"p99_ms"`
-	MaxMs        float64        `json:"max_ms"`
-	Verdicts     map[string]int `json:"verdicts"`
-	HTTPCodes    map[int]int    `json:"-"`
-	HTTPCodeStr  map[string]int `json:"http_codes"`
+	Benchmark   string `json:"benchmark"`
+	Concurrency int    `json:"concurrency"`
+	Checks      int    `json:"checks"`
+	Errors      int    `json:"errors"`
+	// Retries counts extra attempts spent recovering checks; a check
+	// that eventually succeeded is not an error no matter how many
+	// attempts it took. TransportErrors counts attempts that failed
+	// before an HTTP status arrived (dial refused, reset, timeout).
+	Retries         int            `json:"retries"`
+	TransportErrors int            `json:"transport_errors"`
+	Seconds         float64        `json:"seconds"`
+	ChecksPerSec    float64        `json:"checks_per_sec"`
+	P50Ms           float64        `json:"p50_ms"`
+	P90Ms           float64        `json:"p90_ms"`
+	P99Ms           float64        `json:"p99_ms"`
+	MaxMs           float64        `json:"max_ms"`
+	Verdicts        map[string]int `json:"verdicts"`
+	HTTPCodes       map[int]int    `json:"-"`
+	HTTPCodeStr     map[string]int `json:"http_codes"`
 	// DroppedRequestIDs samples the X-Request-Id headers of non-2xx
 	// responses so a failed run can be cross-referenced against the
 	// server's /debug/events?request_id= view.
@@ -70,6 +85,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "novel-modulus generation seed")
 		jsonOut   = flag.String("json", "", "write the benchmark result as JSON to this file")
 		quiet     = flag.Bool("q", false, "suppress the text report")
+		retries   = flag.Int("retries", 0, "retry a failed check up to this many times (transient transport errors and 5xx/429 backpressure)")
+		retryWait = flag.Duration("retry-backoff", 25*time.Millisecond, "first retry delay, doubled per attempt")
+		benchName = flag.String("bench-name", "keyserver", "benchmark name recorded in the -json result")
 	)
 	flag.Parse()
 
@@ -103,12 +121,25 @@ func main() {
 	novel := genNovel(*seed, *bits, 64)
 
 	type worker struct {
-		lat      []time.Duration
-		verdicts map[string]int
-		codes    map[int]int
-		dropped  []string
-		errs     int
-		checks   int
+		lat           []time.Duration
+		verdicts      map[string]int
+		codes         map[int]int
+		dropped       []string
+		errs          int
+		checks        int
+		retries       int
+		transportErrs int
+	}
+
+	// retriable statuses are the backpressure family: the server (or the
+	// cluster router fronting it) said "not right now", not "no".
+	retriable := func(code int) bool {
+		switch code {
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests,
+			http.StatusBadGateway, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
 	}
 	workers := make([]worker, *conc)
 	deadline := time.Now().Add(*duration)
@@ -133,10 +164,38 @@ func main() {
 					hex = ex.Clean[rng.Intn(len(ex.Clean))]
 				}
 				body, _ := json.Marshal(map[string]string{"modulus_hex": hex})
-				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
-				lat := time.Since(t0)
 				wk.checks++
+				// One logical check; up to -retries extra attempts chase
+				// transient weather (a dial refused during a replica
+				// restart, a reset from a SIGKILLed peer, backpressure).
+				var resp *http.Response
+				var err error
+				var lat time.Duration
+				backoff := *retryWait
+				for attempt := 0; ; attempt++ {
+					if attempt > 0 {
+						wk.retries++
+						time.Sleep(backoff)
+						backoff *= 2
+					}
+					t0 := time.Now()
+					resp, err = client.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+					lat = time.Since(t0)
+					if err != nil {
+						wk.transportErrs++
+						if attempt < *retries && scanner.Transient(err) {
+							continue
+						}
+						break
+					}
+					if attempt < *retries && retriable(resp.StatusCode) {
+						wk.codes[resp.StatusCode]++
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						continue
+					}
+					break
+				}
 				if err != nil {
 					wk.errs++
 					continue
@@ -163,7 +222,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	res := result{
-		Benchmark:   "keyserver",
+		Benchmark:   *benchName,
 		Concurrency: *conc,
 		Seconds:     elapsed.Seconds(),
 		Verdicts:    make(map[string]int),
@@ -174,6 +233,8 @@ func main() {
 		wk := &workers[i]
 		res.Checks += wk.checks
 		res.Errors += wk.errs
+		res.Retries += wk.retries
+		res.TransportErrors += wk.transportErrs
 		lats = append(lats, wk.lat...)
 		for k, v := range wk.verdicts {
 			res.Verdicts[k] += v
@@ -206,8 +267,9 @@ func main() {
 			res.Checks, elapsed.Round(time.Millisecond), res.ChecksPerSec, *conc)
 		fmt.Printf("latency: p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 			res.P50Ms, res.P90Ms, res.P99Ms, res.MaxMs)
-		fmt.Printf("verdicts: factored %d, shared_factor %d, clean %d; errors %d\n",
-			res.Verdicts["factored"], res.Verdicts["shared_factor"], res.Verdicts["clean"], res.Errors)
+		fmt.Printf("verdicts: factored %d, shared_factor %d, clean %d; errors %d (retries %d, transport errors %d)\n",
+			res.Verdicts["factored"], res.Verdicts["shared_factor"], res.Verdicts["clean"],
+			res.Errors, res.Retries, res.TransportErrors)
 	}
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")

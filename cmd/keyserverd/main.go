@@ -32,6 +32,11 @@
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-
 // flight checks finish, then the process exits.
+//
+// Cluster mode (-cluster-self with -cluster-peers) turns the process
+// into one replica of a keyrouter cluster: it indexes only its
+// placement-assigned shards, serves GET /v1/sync?since=<gen> so peers
+// can pull its ingest journal, and pulls theirs on -sync-interval.
 package main
 
 import (
@@ -44,9 +49,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/factorable/weakkeys/internal/cluster"
 	"github.com/factorable/weakkeys/internal/core"
 	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/keycheck"
@@ -77,6 +84,11 @@ func main() {
 		logFormat = flag.String("log-format", "text", "stderr log encoding: text or json")
 		eventsN   = flag.Int("events", 1024, "flight-recorder capacity in events (/debug/events window)")
 		bundleTo  = flag.String("debug-bundle", "keyserverd-debug.tar.gz", "SIGUSR1 writes a postmortem debug bundle to this path (empty disables)")
+
+		clusterSelf  = flag.String("cluster-self", "", "this replica's advertised host:port; enables cluster mode (index only placement-owned shards, serve and pull /v1/sync)")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated ordered host:port list of every replica, -cluster-self included; all replicas and the router must agree on it")
+		replication  = flag.Int("replication", cluster.DefaultReplication, "shard replication factor in cluster mode")
+		syncEvery    = flag.Duration("sync-interval", time.Second, "peer journal pull interval in cluster mode")
 	)
 	flag.Parse()
 
@@ -109,6 +121,29 @@ func main() {
 		TeeLevel:  teeLevel,
 	})
 	requests := telemetry.NewRequestTracker(128, 32)
+
+	// Cluster mode: derive this replica's shard subset from the shared
+	// placement arithmetic — every replica and the router compute the
+	// same map from the ordered peer list alone.
+	var peers []string
+	var ownShards []int
+	if *clusterSelf != "" {
+		for _, p := range strings.Split(*clusterPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		placement, err := cluster.NewPlacement(peers, *shards, *replication)
+		if err != nil {
+			fatal(err)
+		}
+		ownShards = placement.OwnedBy(*clusterSelf)
+		if ownShards == nil {
+			fatal(fmt.Errorf("-cluster-self %q does not appear in -cluster-peers %q", *clusterSelf, *clusterPeers))
+		}
+		logf("cluster mode: replica %s owns shards %v of %d (replication %d)",
+			*clusterSelf, ownShards, *shards, placement.Replication())
+	}
 
 	// buildSnapshot runs (or re-runs, on SIGHUP) the analysis and
 	// assembles the serving index from the study's factored set.
@@ -154,6 +189,7 @@ func main() {
 			Store:       study.Store,
 			Fingerprint: study.Fingerprint,
 			Shards:      *shards,
+			OwnShards:   ownShards,
 		})
 	}
 
@@ -170,14 +206,24 @@ func main() {
 		slog.Int("shards", *shards),
 		slog.Duration("elapsed", time.Since(start)))
 
-	svc := keycheck.NewService(snap, keycheck.Config{
+	svcCfg := keycheck.Config{
 		Workers:   *workers,
 		QueueWait: *queueWait,
 		CacheSize: *cacheSize,
 		Metrics:   reg,
 		Events:    events,
 		Requests:  requests,
-	})
+	}
+	// In cluster mode every published ingest lands in the sync journal,
+	// the feed peers pull to converge without a restart.
+	var journal *cluster.Journal
+	if *clusterSelf != "" {
+		journal = &cluster.Journal{}
+		svcCfg.OnIngest = func(rep keycheck.IngestReport) {
+			journal.Append(rep.NovelKeys)
+		}
+	}
+	svc := keycheck.NewService(snap, svcCfg)
 	limiter := keycheck.NewRateLimiter(*rate, *burst)
 	api := keycheck.NewAPI(svc, limiter, reg)
 	api.SetAllowIngest(*ingestOK)
@@ -200,6 +246,18 @@ func main() {
 	diagMux := diag.Mux()
 	mux.Handle("/metrics", diagMux)
 	mux.Handle("/debug/", diagMux)
+	if journal != nil {
+		mux.Handle("/v1/sync", journal.Handler())
+		syncer := &cluster.Syncer{
+			Self:     *clusterSelf,
+			Peers:    peers,
+			Service:  svc,
+			Interval: *syncEvery,
+			Metrics:  reg,
+			Events:   events,
+		}
+		go syncer.Run(ctx)
+	}
 
 	// Steady-state serving keeps the kernel pool's cost ledger fresh:
 	// ingest paths publish on completion, but a scrape between ingests
@@ -221,7 +279,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// Full read/write/idle timeouts so one stuck client (or a SIGKILLed
+	// router mid-request) can never pin a connection forever. The write
+	// timeout is generous because ingests and debug bundles legitimately
+	// take tens of seconds.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState enumerates the circuit breaker's states.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the replica has failed repeatedly; requests are
+	// refused locally until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe
+	// request is in flight; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-replica circuit breaker with a half-open probe
+// state: Threshold consecutive failures open the circuit, Cooldown
+// later a single request is let through, and its outcome decides
+// between closing again and another full cooldown. Keeping the breaker
+// beside (not inside) the health prober means a replica that fails real
+// traffic trips even while its /readyz still answers — the wedged-but-
+// listening failure mode.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// circuit (default 3).
+	Threshold int
+	// Cooldown is how long the circuit stays open before allowing the
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+	// now is injectable for tests; nil means time.Now.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	opens    int64
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// Allow reports whether a request may be sent. On an open circuit whose
+// cooldown has elapsed it grants exactly one half-open probe slot; the
+// caller must follow up with Report for every granted Allow.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Report records the outcome of a request that Allow admitted. Success
+// closes the circuit (from any state); failure increments the
+// consecutive count, opens the circuit at the threshold, and re-opens
+// it immediately from half-open.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.clock()
+		b.probing = false
+		b.opens++
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.state = BreakerOpen
+			b.openedAt = b.clock()
+			b.opens++
+		}
+	}
+}
+
+// Forget releases an Allow whose outcome says nothing about the
+// replica — the router cancelled the request itself (a lost hedge race,
+// the client going away). The probe slot is returned without touching
+// the failure count in either direction.
+func (b *Breaker) Forget() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Ready reports whether the breaker would admit a request right now,
+// without consuming the half-open probe slot: closed, open with the
+// cooldown elapsed, or half-open with the probe slot free. The sending
+// path must still call Allow (which does consume the slot).
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.clock().Sub(b.openedAt) >= b.cooldown()
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// State returns the current state (resolving an elapsed cooldown is
+// left to Allow; State is a pure read).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts closed→open (and half-open→open) transitions — the
+// cluster_breaker_opens_total feed.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, now: func() time.Time { return now }}
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("failure %d: closed breaker refused", i)
+		}
+		b.Report(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Report(false) // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Errorf("opens = %d, want 1", b.Opens())
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted a request before the cooldown")
+	}
+	if b.Ready() {
+		t.Error("open breaker Ready before the cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+	b.Allow()
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Ready() {
+		t.Fatal("cooled-down breaker not Ready")
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Exactly one probe slot: a second request is refused while the
+	// probe is in flight, and Ready reflects that without consuming it.
+	if b.Allow() {
+		t.Error("half-open breaker granted a second probe slot")
+	}
+	if b.Ready() {
+		t.Error("half-open breaker with probe in flight claims Ready")
+	}
+
+	// Probe failure re-opens for a fresh cooldown.
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Errorf("opens = %d, want 2", b.Opens())
+	}
+	if b.Allow() {
+		t.Error("re-opened breaker admitted a request before the new cooldown")
+	}
+
+	// Probe success closes.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Error("closed breaker refused")
+	}
+}
+
+func TestBreakerForgetReleasesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+	b.Allow()
+	b.Report(false)
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// The request was cancelled by the router itself — no signal either
+	// way. The slot must come back for the next caller.
+	b.Forget()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after Forget = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Error("probe slot not released by Forget")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := &Breaker{Threshold: 3}
+	for round := 0; round < 5; round++ {
+		b.Allow()
+		b.Report(false)
+		b.Allow()
+		b.Report(false)
+		b.Allow()
+		b.Report(true) // never three in a row
+	}
+	if b.State() != BreakerClosed || b.Opens() != 0 {
+		t.Errorf("state=%v opens=%d after interleaved successes, want closed/0", b.State(), b.Opens())
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+var testReplicas = []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a, err := NewPlacement(testReplicas, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlacement(testReplicas, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if !reflect.DeepEqual(a.Owners(s), b.Owners(s)) {
+			t.Errorf("shard %d: owners differ between identical placements: %v vs %v",
+				s, a.Owners(s), b.Owners(s))
+		}
+	}
+}
+
+func TestPlacementReplication(t *testing.T) {
+	p, err := NewPlacement(testReplicas, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < p.Shards(); s++ {
+		owners := p.Owners(s)
+		if len(owners) != 2 {
+			t.Fatalf("shard %d: %d owners, want 2", s, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Errorf("shard %d: duplicate owner %s", s, owners[0])
+		}
+	}
+	// OwnedBy must be the inverse of Owners.
+	total := 0
+	for _, r := range testReplicas {
+		owned := p.OwnedBy(r)
+		total += len(owned)
+		for _, s := range owned {
+			found := false
+			for _, o := range p.Owners(s) {
+				if o == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("replica %s claims shard %d but is not in Owners(%d)=%v", r, s, s, p.Owners(s))
+			}
+		}
+	}
+	if total != 8*2 {
+		t.Errorf("sum of owned shards = %d, want %d", total, 8*2)
+	}
+	if p.OwnedBy("127.0.0.1:9999") != nil {
+		t.Error("OwnedBy(unknown) != nil")
+	}
+}
+
+// TestPlacementStability pins the rendezvous property the chaos story
+// leans on: removing one replica must not move any shard between the
+// survivors — only the dead replica's assignments are redistributed.
+func TestPlacementStability(t *testing.T) {
+	before, err := NewPlacement(testReplicas, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewPlacement(testReplicas[:2], 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 32; s++ {
+		was := before.Owners(s)[0]
+		if was == testReplicas[2] {
+			continue // the removed replica's shards may go anywhere
+		}
+		if now := after.Owners(s)[0]; now != was {
+			t.Errorf("shard %d moved %s -> %s though its owner survived", s, was, now)
+		}
+	}
+}
+
+func TestPlacementClampsReplication(t *testing.T) {
+	p, err := NewPlacement(testReplicas[:2], 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replication() != 2 {
+		t.Errorf("replication = %d, want clamped 2", p.Replication())
+	}
+	p, err = NewPlacement(testReplicas, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replication() != DefaultReplication {
+		t.Errorf("replication = %d, want default %d", p.Replication(), DefaultReplication)
+	}
+}
+
+func TestPlacementRejectsBadInput(t *testing.T) {
+	if _, err := NewPlacement(nil, 8, 2); err == nil {
+		t.Error("no error for empty replica list")
+	}
+	if _, err := NewPlacement([]string{"a", "a"}, 8, 2); err == nil {
+		t.Error("no error for duplicate replica")
+	}
+	if _, err := NewPlacement([]string{"a", ""}, 8, 2); err == nil {
+		t.Error("no error for empty replica name")
+	}
+	if _, err := NewPlacement(testReplicas, 0, 2); err == nil {
+		t.Error("no error for zero shards")
+	}
+}
+
+func TestUncovered(t *testing.T) {
+	p, err := NewPlacement(testReplicas, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Uncovered(func(string) bool { return true }); got != nil {
+		t.Errorf("all alive: uncovered = %v, want none", got)
+	}
+	// With replication 2 of 3 replicas, killing one replica must leave
+	// every shard covered by its surviving owner.
+	for _, dead := range testReplicas {
+		got := p.Uncovered(func(r string) bool { return r != dead })
+		if got != nil {
+			t.Errorf("one dead (%s): uncovered = %v, want none", dead, got)
+		}
+	}
+	// Killing two replicas uncovers exactly the shards they co-owned.
+	dead := map[string]bool{testReplicas[0]: true, testReplicas[1]: true}
+	got := p.Uncovered(func(r string) bool { return !dead[r] })
+	for s := 0; s < p.Shards(); s++ {
+		owners := p.Owners(s)
+		want := dead[owners[0]] && dead[owners[1]]
+		has := false
+		for _, u := range got {
+			if u == s {
+				has = true
+			}
+		}
+		if has != want {
+			t.Errorf("shard %d (owners %v): uncovered=%v, want %v", s, owners, has, want)
+		}
+	}
+}

@@ -1,0 +1,807 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/big"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/scanner"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// RoutedVerdict is the router's answer for one modulus: the replica
+// verdict plus the routing disclosure. When every shard owner was
+// reachable the verdict is exactly what a single full-corpus process
+// would have said; when owners were down the router degrades instead of
+// failing, answers from the coverage it has, and says so.
+type RoutedVerdict struct {
+	keycheck.Verdict
+	// Replica names the replica whose verdict decided the answer.
+	Replica string `json:"replica,omitempty"`
+	// Hops counts replica requests spent on this answer (1 for the
+	// corpus-member fast path; more for scatter, retries and hedges).
+	Hops int `json:"hops"`
+	// Degraded marks an answer computed without full shard coverage: a
+	// clean verdict here means "clean as far as the reachable corpus
+	// knows", not clean. Compromised verdicts are definitive regardless.
+	Degraded bool `json:"degraded,omitempty"`
+	// UnreachableShards lists the shards no owner could answer for.
+	UnreachableShards []int `json:"unreachable_shards,omitempty"`
+}
+
+// RouterConfig configures NewRouter. Zero values select the defaults
+// noted per field.
+type RouterConfig struct {
+	// Replicas is the ordered replica address list (required; the order
+	// must match what the replicas themselves were started with, since
+	// placement is computed from it).
+	Replicas []string
+	// Shards is the cluster-wide shard count (default
+	// keycheck.DefaultShards). Must match the replicas' shard count.
+	Shards int
+	// Replication is the placement replication factor (default
+	// DefaultReplication, clamped to the replica count).
+	Replication int
+	// RequestTimeout bounds one replica round trip (default 10s).
+	RequestTimeout time.Duration
+	// Retries is how many extra scatter rounds a failed shard gets
+	// (default 3).
+	Retries int
+	// RetryBackoff is the first inter-round delay, doubled per round
+	// with ±50% jitter (default 50ms).
+	RetryBackoff time.Duration
+	// RetryBudget caps retry requests across the router's lifetime, the
+	// scanner's global-budget discipline applied to the forward path:
+	// a flapping replica cannot amplify every incoming check into
+	// unbounded internal traffic. 0 selects 10000; negative disables.
+	RetryBudget int64
+	// HedgeAfter is how long the home forward waits before duplicating
+	// the request to the next owner (default 250ms; negative disables).
+	HedgeAfter time.Duration
+	// ProbeInterval / ProbeTimeout drive the background health prober
+	// (defaults 500ms / 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// BreakerFailures / BreakerCooldown configure each replica's
+	// circuit breaker (defaults per Breaker).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// Seed seeds the retry jitter (0 selects 1).
+	Seed int64
+	// Metrics / Events receive router telemetry (nil disables).
+	Metrics *telemetry.Registry
+	Events  *telemetry.EventLog
+}
+
+// Router forwards key checks to the replicas owning the relevant
+// shards. A corpus member is answered by its home-shard owner in one
+// hop; a novel modulus is scatter-gathered across owners of every shard
+// so the full-corpus GCD sweep still happens, just distributed. Owner
+// failures retry against placement peers with backoff, stragglers are
+// hedged, and when a shard has no reachable owner left the router
+// degrades the verdict instead of erroring.
+type Router struct {
+	placement *Placement
+	replicas  map[string]*Replica
+	cfg       RouterConfig
+	budget    *scanner.Budget
+	jitter    *scanner.Jitter
+
+	metrics *telemetry.Registry
+	events  *telemetry.EventLog
+
+	hedges   *telemetry.Counter
+	degraded *telemetry.Counter
+}
+
+// NewRouter computes the placement and builds a replica client per
+// address.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = keycheck.DefaultShards
+	}
+	p, err := NewPlacement(cfg.Replicas, shards, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 250 * time.Millisecond
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 10000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rt := &Router{
+		placement: p,
+		replicas:  make(map[string]*Replica, len(cfg.Replicas)),
+		cfg:       cfg,
+		jitter:    scanner.NewJitter(seed),
+		metrics:   cfg.Metrics,
+		events:    cfg.Events,
+		hedges:    cfg.Metrics.Counter("cluster_hedges_total"),
+		degraded:  cfg.Metrics.Counter("cluster_degraded_verdicts_total"),
+	}
+	if cfg.RetryBudget > 0 {
+		rt.budget = scanner.NewBudget(cfg.RetryBudget)
+	}
+	for _, addr := range cfg.Replicas {
+		r := NewReplica(addr, cfg.RequestTimeout)
+		r.Breaker.Threshold = cfg.BreakerFailures
+		r.Breaker.Cooldown = cfg.BreakerCooldown
+		rt.replicas[addr] = r
+	}
+	return rt, nil
+}
+
+// Placement returns the router's shard→replica map.
+func (rt *Router) Placement() *Placement { return rt.placement }
+
+// Replica returns the client for a placement name (nil if unknown).
+func (rt *Router) Replica(name string) *Replica { return rt.replicas[name] }
+
+// Start probes every replica once synchronously — replicas default to
+// healthy, and /readyz must not claim coverage the first probe round
+// would retract — then launches the periodic health-probe loop, which
+// stops when ctx is done. The prober keeps every replica's readiness
+// view fresh so selection can skip dead replicas before burning a
+// request timeout on them.
+func (rt *Router) Start(ctx context.Context) {
+	rt.probeAll(ctx)
+	go func() {
+		tick := time.NewTicker(rt.cfg.ProbeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				rt.probeAll(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func (rt *Router) probeAll(ctx context.Context) {
+	for _, addr := range rt.placement.Replicas() {
+		r := rt.replicas[addr]
+		was := r.Healthy()
+		ok := r.Probe(ctx, rt.cfg.ProbeTimeout)
+		if !ok {
+			rt.metrics.Counter(`cluster_probe_failures_total{replica="` + addr + `"}`).Inc()
+		}
+		if ok != was {
+			rt.events.Info(ctx, "replica health changed",
+				slog.String("replica", addr),
+				slog.Bool("ready", ok))
+		}
+	}
+}
+
+// send performs one breaker-gated check against r and settles the
+// breaker with the outcome. A cancellation caused by the router itself
+// (hedge race lost, caller gone) is forgotten rather than held against
+// the replica.
+func (rt *Router) send(ctx context.Context, r *Replica, hex string) (*checkResult, *replicaError) {
+	if !r.Breaker.Allow() {
+		return nil, &replicaError{replica: r.Name, cause: "breaker-open", transient: true,
+			err: fmt.Errorf("cluster: replica %s: circuit open", r.Name)}
+	}
+	rt.metrics.Counter(`cluster_forward_total{replica="` + r.Name + `"}`).Inc()
+	res, rerr := r.Check(ctx, hex)
+	rt.settle(r, rerr)
+	return res, rerr
+}
+
+// settle reports a request outcome to the replica's breaker, counting
+// open transitions into the metrics.
+func (rt *Router) settle(r *Replica, rerr *replicaError) {
+	if rerr != nil && rerr.cause == scanner.CauseCanceled {
+		r.Breaker.Forget()
+		return
+	}
+	before := r.Breaker.Opens()
+	r.Breaker.Report(rerr == nil)
+	if r.Breaker.Opens() > before {
+		rt.metrics.Counter(`cluster_breaker_opens_total{replica="` + r.Name + `"}`).Inc()
+		rt.events.Warn(context.Background(), "replica breaker opened",
+			slog.String("replica", r.Name),
+			slog.String("cause", rerr.cause))
+	}
+}
+
+// retryable spends one unit of the retry budget; when the budget is
+// exhausted the shard is left for the degraded disclosure rather than
+// amplified into more traffic.
+func (rt *Router) retryable(cause string) bool {
+	if rt.budget != nil && !rt.budget.Take() {
+		rt.metrics.Counter("cluster_retry_budget_exhausted_total").Inc()
+		return false
+	}
+	rt.metrics.Counter(`cluster_retries_total{cause="` + cause + `"}`).Inc()
+	return true
+}
+
+// orderedOwners returns shard s's owners, usable ones first (placement
+// preference preserved within each half), skipping names in skip.
+func (rt *Router) orderedOwners(s int, skip map[string]bool) []*Replica {
+	var usable, rest []*Replica
+	for _, name := range rt.placement.Owners(s) {
+		if skip[name] {
+			continue
+		}
+		r := rt.replicas[name]
+		if r.Usable() {
+			usable = append(usable, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	return append(usable, rest...)
+}
+
+// Check routes one validated modulus. The fast path is a single forward
+// to the modulus's home-shard owner — for corpus members (the common
+// case: a user checking a key the study observed) that answer is
+// complete. A novel modulus additionally scatter-gathers across owners
+// of every other shard so the GCD sweep covers the whole corpus.
+func (rt *Router) Check(ctx context.Context, n *big.Int) RoutedVerdict {
+	hex := n.Text(16)
+	home := keycheck.ShardOf(n, rt.placement.Shards())
+	hops := 0
+
+	// Home forward, hedged across the home shard's owners.
+	homeRes, attempts := rt.forwardHome(ctx, home, hex)
+	hops += attempts
+
+	if homeRes != nil && homeRes.verdict.Known {
+		// A member's verdict from its home-shard owner is complete:
+		// membership and the exact factored map are that shard's, and
+		// batch GCD already ran over the full corpus at build time, so
+		// a member absent from the factored map shares no prime.
+		out := RoutedVerdict{Verdict: homeRes.verdict, Replica: homeRes.replica, Hops: hops}
+		out.Partial = false
+		return out
+	}
+
+	// Novel modulus (or no home answer at all): the GCD sweep needs
+	// every shard's product, so gather coverage from owners of the
+	// shards the home answer didn't span.
+	need := make(map[int]bool, rt.placement.Shards())
+	for s := 0; s < rt.placement.Shards(); s++ {
+		need[s] = true
+	}
+	if homeRes != nil {
+		for _, s := range rt.placement.OwnedBy(homeRes.replica) {
+			delete(need, s)
+		}
+	}
+	results, scatterHops := rt.scatter(ctx, hex, need)
+	hops += scatterHops
+
+	out := rt.combine(n, home, homeRes, results, need)
+	out.Hops = hops
+	if out.Degraded {
+		rt.degraded.Inc()
+		rt.events.Warn(ctx, "degraded verdict",
+			slog.String("status", string(out.Status)),
+			slog.Int("unreachable_shards", len(out.UnreachableShards)))
+	}
+	return out
+}
+
+// forwardHome races the home shard's owners: the preferred owner first,
+// the next hedged in after HedgeAfter (the supervise.go backup-task
+// move — a straggling replica shouldn't hold the answer hostage when a
+// peer holds the same shard), and failed attempts failing over to
+// remaining owners. Returns the first success and the attempt count.
+func (rt *Router) forwardHome(ctx context.Context, home int, hex string) (*checkResult, int) {
+	candidates := rt.orderedOwners(home, nil)
+	if len(candidates) == 0 {
+		return nil, 0
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res  *checkResult
+		rerr *replicaError
+	}
+	resc := make(chan outcome, len(candidates))
+	launched := 0
+	launch := func() {
+		r := candidates[launched]
+		launched++
+		go func() {
+			res, rerr := rt.send(ctx, r, hex)
+			resc <- outcome{res, rerr}
+		}()
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 && len(candidates) > 1 {
+		t := time.NewTimer(rt.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending := 1
+	for pending > 0 {
+		select {
+		case o := <-resc:
+			pending--
+			if o.rerr == nil {
+				return o.res, launched
+			}
+			// Transient failures fail over to the next owner; a
+			// permanent one would fail identically there.
+			if o.rerr.transient && launched < len(candidates) && rt.retryable(o.rerr.cause) {
+				launch()
+				pending++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(candidates) {
+				rt.hedges.Inc()
+				launch()
+				pending++
+			}
+		case <-ctx.Done():
+			return nil, launched
+		}
+	}
+	return nil, launched
+}
+
+// scatter gathers verdicts from owners covering the shards in need,
+// retrying uncovered shards against rotated owners over backoff rounds.
+// Shards still in need on return had no answering owner.
+func (rt *Router) scatter(ctx context.Context, hex string, need map[int]bool) ([]*checkResult, int) {
+	var results []*checkResult
+	hops := 0
+	backoff := rt.cfg.RetryBackoff
+	// failed tracks replicas that failed this scatter, per shard, so
+	// the next round rotates to a placement peer instead of hammering
+	// the same dead owner; once every owner of a shard has failed the
+	// slate is wiped and rotation starts over (transient weather may
+	// have passed).
+	failed := make(map[int]map[string]bool)
+	for round := 0; round <= rt.cfg.Retries && len(need) > 0; round++ {
+		if round > 0 {
+			select {
+			case <-time.After(rt.jitter.Jitter(backoff)):
+			case <-ctx.Done():
+				return results, hops
+			}
+			backoff = scanner.DoubleBackoff(backoff, 2*time.Second)
+		}
+		// Group this round's shards by their chosen owner: one request
+		// per replica covers every needed shard it owns.
+		targets := make(map[*Replica]bool)
+		for s := range need {
+			if len(failed[s]) >= len(rt.placement.Owners(s)) {
+				failed[s] = nil
+			}
+			owners := rt.orderedOwners(s, failed[s])
+			if len(owners) == 0 {
+				continue
+			}
+			targets[owners[0]] = true
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		type outcome struct {
+			r    *Replica
+			res  *checkResult
+			rerr *replicaError
+		}
+		ch := make(chan outcome, len(targets))
+		sent := 0
+		for r := range targets {
+			if round > 0 && !rt.retryable("scatter") {
+				break
+			}
+			sent++
+			go func(r *Replica) {
+				res, rerr := rt.send(ctx, r, hex)
+				ch <- outcome{r, res, rerr}
+			}(r)
+		}
+		hops += sent
+		for i := 0; i < sent; i++ {
+			o := <-ch
+			if o.rerr != nil {
+				for s := range need {
+					for _, owner := range rt.placement.Owners(s) {
+						if owner == o.r.Name {
+							if failed[s] == nil {
+								failed[s] = make(map[string]bool)
+							}
+							failed[s][o.r.Name] = true
+						}
+					}
+				}
+				continue
+			}
+			results = append(results, o.res)
+			for _, s := range rt.placement.OwnedBy(o.r.Name) {
+				delete(need, s)
+			}
+		}
+	}
+	return results, hops
+}
+
+// combine folds the gathered partial verdicts into one answer. Any
+// owner finding a shared prime decides compromised (preferring answers
+// that recovered the full factorization); membership comes only from
+// the home-shard owner; leftover uncovered shards degrade the verdict.
+func (rt *Router) combine(n *big.Int, home int, homeRes *checkResult, results []*checkResult, need map[int]bool) RoutedVerdict {
+	var out RoutedVerdict
+	if homeRes != nil {
+		out.Verdict = homeRes.verdict
+		out.Replica = homeRes.replica
+	} else {
+		out.Verdict = keycheck.Verdict{
+			Status:      keycheck.StatusClean,
+			ModulusBits: n.BitLen(),
+			Shard:       home,
+		}
+	}
+	better := func(v keycheck.Verdict) bool {
+		if !v.Compromised() {
+			return false
+		}
+		if !out.Compromised() {
+			return true
+		}
+		// Among compromised answers, a recovered factorization beats a
+		// bare divisor, and factored (exact-map) beats on-the-spot.
+		if (v.FactorP != "") != (out.FactorP != "") {
+			return v.FactorP != ""
+		}
+		return v.Status == keycheck.StatusFactored && out.Status != keycheck.StatusFactored
+	}
+	for _, res := range results {
+		if better(res.verdict) {
+			known := out.Known
+			out.Verdict = res.verdict
+			out.Known = known // membership stays the home owner's call
+			out.Shard = home
+			out.Replica = res.replica
+		}
+	}
+	if len(need) > 0 {
+		out.Degraded = true
+		out.UnreachableShards = make([]int, 0, len(need))
+		for s := range need {
+			out.UnreachableShards = append(out.UnreachableShards, s)
+		}
+		sort.Ints(out.UnreachableShards)
+	}
+	// Partial was the replicas' own disclosure; at the router level the
+	// Degraded field carries it.
+	out.Partial = false
+	return out
+}
+
+// ingestResponse is the router's POST /v1/ingest document: the summed
+// counters plus each replica's own report.
+type ingestResponse struct {
+	DeltaModuli int                              `json:"delta_moduli"`
+	Duplicates  int                              `json:"duplicates"`
+	NewFactored int                              `json:"new_factored"`
+	Refactored  int                              `json:"refactored"`
+	Degraded    bool                             `json:"degraded,omitempty"`
+	Failed      []string                         `json:"failed_moduli_hex,omitempty"`
+	Replicas    map[string]keycheck.IngestReport `json:"replicas,omitempty"`
+}
+
+// ingest routes each modulus to an owner of its home shard and merges
+// the reports. Replication peers receive the delta through the sync
+// protocol, not from the router — one authoritative landing per key,
+// then anti-entropy. Failed groups retry against peer owners with the
+// same rotation as scatter; moduli with no reachable owner come back in
+// Failed with Degraded set.
+func (rt *Router) ingest(ctx context.Context, moduliHex []string, mods []*big.Int) ingestResponse {
+	resp := ingestResponse{Replicas: make(map[string]keycheck.IngestReport)}
+	// pending: modulus index -> home shard.
+	pending := make(map[int]int, len(mods))
+	for i, n := range mods {
+		pending[i] = keycheck.ShardOf(n, rt.placement.Shards())
+	}
+	backoff := rt.cfg.RetryBackoff
+	failed := make(map[int]map[string]bool) // shard -> replicas failed
+	for round := 0; round <= rt.cfg.Retries && len(pending) > 0; round++ {
+		if round > 0 {
+			select {
+			case <-time.After(rt.jitter.Jitter(backoff)):
+			case <-ctx.Done():
+				break
+			}
+			backoff = scanner.DoubleBackoff(backoff, 2*time.Second)
+		}
+		batches := make(map[*Replica][]int)
+		for i, s := range pending {
+			if len(failed[s]) >= len(rt.placement.Owners(s)) {
+				failed[s] = nil
+			}
+			owners := rt.orderedOwners(s, failed[s])
+			if len(owners) == 0 {
+				continue
+			}
+			batches[owners[0]] = append(batches[owners[0]], i)
+		}
+		for r, idxs := range batches {
+			if round > 0 && !rt.retryable("ingest") {
+				break
+			}
+			batch := make([]string, len(idxs))
+			for j, i := range idxs {
+				batch[j] = moduliHex[i]
+			}
+			if !r.Breaker.Allow() {
+				rt.markIngestFailed(failed, pending, idxs, r.Name)
+				continue
+			}
+			rep, rerr := r.Ingest(ctx, batch)
+			rt.settle(r, rerr)
+			if rerr != nil {
+				rt.markIngestFailed(failed, pending, idxs, r.Name)
+				continue
+			}
+			prev := resp.Replicas[r.Name]
+			prev.DeltaModuli += rep.DeltaModuli
+			prev.Duplicates += rep.Duplicates
+			prev.NewFactored += rep.NewFactored
+			prev.Refactored += rep.Refactored
+			prev.Skipped += rep.Skipped
+			prev.TouchedShards += rep.TouchedShards
+			resp.Replicas[r.Name] = prev
+			resp.DeltaModuli += rep.DeltaModuli
+			resp.Duplicates += rep.Duplicates
+			resp.NewFactored += rep.NewFactored
+			resp.Refactored += rep.Refactored
+			for _, i := range idxs {
+				delete(pending, i)
+			}
+		}
+	}
+	if len(pending) > 0 {
+		resp.Degraded = true
+		for i := range pending {
+			resp.Failed = append(resp.Failed, moduliHex[i])
+		}
+		sort.Strings(resp.Failed)
+		rt.metrics.Counter("cluster_ingest_failed_moduli_total").Add(int64(len(pending)))
+	}
+	return resp
+}
+
+func (rt *Router) markIngestFailed(failed map[int]map[string]bool, pending map[int]int, idxs []int, name string) {
+	for _, i := range idxs {
+		s := pending[i]
+		if failed[s] == nil {
+			failed[s] = make(map[string]bool)
+		}
+		failed[s][name] = true
+	}
+}
+
+// replicaStatus is one replica's row in /cluster/status.
+type replicaStatus struct {
+	Name            string `json:"name"`
+	Healthy         bool   `json:"healthy"`
+	Breaker         string `json:"breaker"`
+	BreakerOpens    int64  `json:"breaker_opens"`
+	ProbeFailures   int64  `json:"probe_failures"`
+	RequestFailures int64  `json:"request_failures"`
+	OwnedShards     []int  `json:"owned_shards"`
+}
+
+// clusterStatus is the GET /cluster/status document.
+type clusterStatus struct {
+	Shards           int             `json:"shards"`
+	Replication      int             `json:"replication"`
+	Replicas         []replicaStatus `json:"replicas"`
+	UncoveredShards  []int           `json:"uncovered_shards,omitempty"`
+	RetryBudgetLeft  int64           `json:"retry_budget_left"`
+	DegradedVerdicts int64           `json:"degraded_verdicts"`
+	HedgedForwards   int64           `json:"hedged_forwards"`
+}
+
+// Status snapshots the cluster view for /cluster/status.
+func (rt *Router) Status() clusterStatus {
+	st := clusterStatus{
+		Shards:           rt.placement.Shards(),
+		Replication:      rt.placement.Replication(),
+		DegradedVerdicts: rt.degraded.Value(),
+		HedgedForwards:   rt.hedges.Value(),
+	}
+	if rt.budget != nil {
+		st.RetryBudgetLeft = rt.budget.Remaining()
+	} else {
+		st.RetryBudgetLeft = -1
+	}
+	for _, name := range rt.placement.Replicas() {
+		r := rt.replicas[name]
+		st.Replicas = append(st.Replicas, replicaStatus{
+			Name:            name,
+			Healthy:         r.Healthy(),
+			Breaker:         r.Breaker.State().String(),
+			BreakerOpens:    r.Breaker.Opens(),
+			ProbeFailures:   r.ProbeFailures(),
+			RequestFailures: r.RequestFailures(),
+			OwnedShards:     rt.placement.OwnedBy(name),
+		})
+	}
+	st.UncoveredShards = rt.placement.Uncovered(func(name string) bool {
+		return rt.replicas[name].Usable()
+	})
+	return st
+}
+
+// Mux returns the router's HTTP routes:
+//
+//	POST /v1/check       route one modulus/certificate check
+//	POST /v1/ingest      route new moduli to their home-shard owners
+//	GET  /v1/exemplars   proxied from any usable replica
+//	GET  /cluster/status placement, per-replica health and breakers
+//	GET  /healthz        router process liveness
+//	GET  /readyz         200 only when every shard has a usable owner
+func (rt *Router) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", rt.withRequestID(rt.handleCheck))
+	mux.HandleFunc("/v1/ingest", rt.withRequestID(rt.handleIngest))
+	mux.HandleFunc("/v1/exemplars", rt.withRequestID(rt.handleExemplars))
+	mux.HandleFunc("/cluster/status", rt.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if uncovered := rt.placement.Uncovered(func(name string) bool { return rt.replicas[name].Usable() }); len(uncovered) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "uncovered shards: %v\n", uncovered)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	return mux
+}
+
+func (rt *Router) withRequestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, _ := telemetry.HTTPRequestID(r)
+		w.Header().Set("X-Request-Id", id)
+		h(w, r.WithContext(telemetry.ContextWithRequestID(r.Context(), id)))
+	}
+}
+
+func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, r, http.StatusMethodNotAllowed, errors.New("cluster: POST only"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", keycheck.ErrMalformed, err))
+		return
+	}
+	n, err := keycheck.ParseSubmission(body)
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, rt.Check(r.Context(), n))
+}
+
+// maxRouterIngest mirrors the replica-side per-request ingest bound.
+const maxRouterIngest = 4096
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, r, http.StatusMethodNotAllowed, errors.New("cluster: POST only"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", keycheck.ErrMalformed, err))
+		return
+	}
+	var req struct {
+		ModuliHex []string `json:"moduli_hex"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", keycheck.ErrMalformed, err))
+		return
+	}
+	if len(req.ModuliHex) == 0 {
+		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: moduli_hex is empty", keycheck.ErrMalformed))
+		return
+	}
+	if len(req.ModuliHex) > maxRouterIngest {
+		rt.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("%w: %d moduli exceeds the per-request limit of %d", keycheck.ErrMalformed, len(req.ModuliHex), maxRouterIngest))
+		return
+	}
+	mods := make([]*big.Int, len(req.ModuliHex))
+	for i, hex := range req.ModuliHex {
+		n, err := keycheck.ParseModulusHex(hex)
+		if err != nil {
+			rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("moduli_hex[%d]: %w", i, err))
+			return
+		}
+		mods[i] = n
+	}
+	rt.writeJSON(w, http.StatusOK, rt.ingest(r.Context(), req.ModuliHex, mods))
+}
+
+// handleExemplars proxies to the first usable replica; exemplars are a
+// per-replica sample, good enough for smoke tests and load generators.
+func (rt *Router) handleExemplars(w http.ResponseWriter, r *http.Request) {
+	for _, name := range rt.placement.Replicas() {
+		rep := rt.replicas[name]
+		if !rep.Usable() {
+			continue
+		}
+		status, raw, rerr := rep.Get(r.Context(), "/v1/exemplars?"+r.URL.RawQuery)
+		if rerr != nil || status != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(raw)
+		return
+	}
+	rt.writeError(w, r, http.StatusServiceUnavailable, errors.New("cluster: no usable replica"))
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.Status())
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	rt.metrics.Counter(fmt.Sprintf(`cluster_http_requests_total{code="%d"}`, code)).Inc()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	rt.events.Warn(r.Context(), "router request failed",
+		slog.String("path", r.URL.Path),
+		slog.Int("status", code),
+		slog.String("error", err.Error()))
+	rt.writeJSON(w, code, struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id,omitempty"`
+	}{err.Error(), telemetry.RequestIDFrom(r.Context())})
+}

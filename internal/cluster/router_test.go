@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/faults"
+	"github.com/factorable/weakkeys/internal/keycheck"
+)
+
+// TestRouterVerdicts drives the four golden inputs through the routed
+// path with every replica healthy: verdicts must match what a single
+// full-corpus keyserverd would answer, with no Partial leaking out.
+func TestRouterVerdicts(t *testing.T) {
+	rt, _ := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+
+	v := rt.Check(ctx, modN1)
+	if v.Status != keycheck.StatusFactored || !v.Known {
+		t.Errorf("N1 = %+v, want factored/known", v.Verdict)
+	}
+	if v.FactorP != p2.Text(16) || v.FactorQ != p1.Text(16) {
+		t.Errorf("N1 factors %s,%s", v.FactorP, v.FactorQ)
+	}
+	if v.Partial || v.Degraded || v.Hops != 1 {
+		t.Errorf("N1 partial=%v degraded=%v hops=%d, want definitive 1-hop", v.Partial, v.Degraded, v.Hops)
+	}
+
+	v = rt.Check(ctx, modN3)
+	if v.Status != keycheck.StatusClean || !v.Known || v.Degraded {
+		t.Errorf("N3 = %+v, want clean/known", v.Verdict)
+	}
+
+	v = rt.Check(ctx, modNc)
+	if v.Status != keycheck.StatusClean || v.Known || v.Degraded || v.Partial {
+		t.Errorf("Nc = %+v degraded=%v, want clean/novel/full-coverage", v.Verdict, v.Degraded)
+	}
+	if len(v.UnreachableShards) != 0 {
+		t.Errorf("Nc unreachable shards %v with a healthy cluster", v.UnreachableShards)
+	}
+	if v.Hops < 2 {
+		t.Errorf("Nc hops = %d, want a scatter beyond the home replica", v.Hops)
+	}
+
+	v = rt.Check(ctx, modNs)
+	if v.Status != keycheck.StatusSharedFactor || v.Known || v.Degraded {
+		t.Errorf("Ns = %+v, want shared_factor/novel", v.Verdict)
+	}
+	if v.Divisor != p3.Text(16) {
+		t.Errorf("Ns divisor %s, want %s", v.Divisor, p3.Text(16))
+	}
+	if v.FactorP != r1.Text(16) || v.FactorQ != p3.Text(16) {
+		t.Errorf("Ns factors %s,%s", v.FactorP, v.FactorQ)
+	}
+}
+
+// TestRouterFailover kills the primary owner of N1's home shard: the
+// routed check must fail over to the surviving owner and still come
+// back definitive — no degradation with replication 2 and one loss.
+func TestRouterFailover(t *testing.T) {
+	rt, replicas := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+	p := rt.Placement()
+
+	home := keycheck.ShardOf(modN1, p.Shards())
+	dead := p.Owners(home)[0]
+	replicaByAddr(t, replicas, dead).srv.Close()
+
+	v := rt.Check(ctx, modN1)
+	if v.Status != keycheck.StatusFactored || !v.Known || v.Degraded {
+		t.Errorf("N1 with dead primary = %+v degraded=%v, want factored/known", v.Verdict, v.Degraded)
+	}
+	if v.Replica == dead {
+		t.Errorf("answer attributed to the dead replica %s", dead)
+	}
+	if v.Hops < 2 {
+		t.Errorf("hops = %d, want a failover hop", v.Hops)
+	}
+	if got := rt.Replica(dead).RequestFailures(); got < 1 {
+		t.Errorf("dead replica request failures = %d, want >= 1", got)
+	}
+
+	// Novel scatter still covers every shard through surviving owners.
+	v = rt.Check(ctx, modNs)
+	if v.Status != keycheck.StatusSharedFactor || v.Degraded {
+		t.Errorf("Ns with dead replica = %+v degraded=%v, want shared_factor", v.Verdict, v.Degraded)
+	}
+
+	// Enough consecutive failures open the dead replica's breaker.
+	for i := 0; i < 4; i++ {
+		rt.Check(ctx, modNc)
+	}
+	if rt.Replica(dead).Breaker.Opens() < 1 {
+		t.Errorf("dead replica breaker never opened (state %v)", rt.Replica(dead).Breaker.State())
+	}
+}
+
+// TestRouterDegraded kills two of three replicas: with replication 2
+// some shards lose both owners, and a novel check must degrade to a
+// partial verdict naming those shards instead of failing.
+func TestRouterDegraded(t *testing.T) {
+	rt, replicas := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+	p := rt.Placement()
+
+	survivor := replicas[0].addr
+	for _, rep := range replicas[1:] {
+		rep.srv.Close()
+	}
+	alive := func(r string) bool { return r == survivor }
+	wantUncovered := p.Uncovered(alive)
+	if len(wantUncovered) == 0 {
+		t.Fatal("fixture lost its bite: one survivor still covers every shard")
+	}
+
+	v := rt.Check(ctx, modNc)
+	if !v.Degraded {
+		t.Fatalf("two dead owners but verdict not degraded: %+v", v)
+	}
+	if v.Status != keycheck.StatusClean || v.Known {
+		t.Errorf("Nc degraded = %+v, want clean/novel from partial coverage", v.Verdict)
+	}
+	if len(v.UnreachableShards) != len(wantUncovered) {
+		t.Errorf("unreachable shards %v, want %v", v.UnreachableShards, wantUncovered)
+	} else {
+		for i, s := range wantUncovered {
+			if v.UnreachableShards[i] != s {
+				t.Errorf("unreachable shards %v, want %v", v.UnreachableShards, wantUncovered)
+				break
+			}
+		}
+	}
+	if v.Partial {
+		t.Error("router leaked the replica-level Partial flag; Degraded is the cluster-level signal")
+	}
+}
+
+// truncateChecks wraps a replica handler with a fault plan: scheduled
+// /v1/check responses send headers plus a partial JSON body, then drop
+// the connection — the replica dying mid-response.
+func truncateChecks(next http.Handler, plan *faults.Plan) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/check" && plan.Next().Action == faults.Truncate {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				return
+			}
+			conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 500\r\n\r\n{\"status\":"))
+			conn.Close()
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// TestRouterTruncatedBodyRetry makes the primary owner of N1's home
+// shard die mid-response on every check: the unexpected-EOF body read
+// must classify as a transient reset and fail over to the peer owner,
+// with the verdict unharmed.
+func TestRouterTruncatedBodyRetry(t *testing.T) {
+	rt, replicas := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+	p := rt.Placement()
+
+	home := keycheck.ShardOf(modN1, p.Shards())
+	flaky := replicaByAddr(t, replicas, p.Owners(home)[0])
+	inner := flaky.handler.load()
+	flaky.handler.store(truncateChecks(inner, faults.NewEveryN(1, faults.Truncate)))
+
+	v := rt.Check(ctx, modN1)
+	if v.Status != keycheck.StatusFactored || !v.Known || v.Degraded {
+		t.Errorf("N1 behind truncation = %+v degraded=%v, want factored/known", v.Verdict, v.Degraded)
+	}
+	if v.FactorP != p2.Text(16) || v.FactorQ != p1.Text(16) {
+		t.Errorf("N1 factors %s,%s", v.FactorP, v.FactorQ)
+	}
+	if v.Replica == flaky.addr {
+		t.Errorf("answer attributed to the truncating replica %s", flaky.addr)
+	}
+	if v.Hops < 2 {
+		t.Errorf("hops = %d, want a retry against the peer owner", v.Hops)
+	}
+	if got := rt.Replica(flaky.addr).RequestFailures(); got < 1 {
+		t.Errorf("truncating replica request failures = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+// Journal is a replica's generation-tagged ingest log: every ingest
+// that published a new snapshot appends its novel moduli under the next
+// generation, and peers pull the tail with /v1/sync?since=<gen>. The
+// generations are per-replica monotonic counters, not global — each
+// peer tracks its position in each origin's journal independently, so
+// propagation needs no coordination: a full mesh of since-pulls
+// converges because re-delivered moduli dedupe to no-ops at ingest.
+type Journal struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries []journalEntry
+}
+
+type journalEntry struct {
+	gen  uint64
+	keys []string
+}
+
+// maxJournalEntries bounds the entry count; on overflow the oldest half
+// is coalesced into one entry (keeping every key, under the newest
+// merged generation), so a stale peer may re-receive moduli it already
+// has — which ingest dedupes — but never misses one.
+const maxJournalEntries = 512
+
+// Append records one ingest's novel moduli (hex) and returns the new
+// generation. Empty appends are ignored.
+func (j *Journal) Append(keys []string) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(keys) == 0 {
+		return j.gen
+	}
+	j.gen++
+	j.entries = append(j.entries, journalEntry{gen: j.gen, keys: append([]string(nil), keys...)})
+	if len(j.entries) > maxJournalEntries {
+		half := len(j.entries) / 2
+		merged := journalEntry{gen: j.entries[half-1].gen}
+		for _, e := range j.entries[:half] {
+			merged.keys = append(merged.keys, e.keys...)
+		}
+		j.entries = append([]journalEntry{merged}, j.entries[half:]...)
+	}
+	return j.gen
+}
+
+// Since returns the current generation and every key appended after
+// generation g, oldest first.
+func (j *Journal) Since(g uint64) (uint64, []string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var keys []string
+	for _, e := range j.entries {
+		if e.gen > g {
+			keys = append(keys, e.keys...)
+		}
+	}
+	return j.gen, keys
+}
+
+// Generation returns the journal's current generation.
+func (j *Journal) Generation() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gen
+}
+
+// syncResponse is the GET /v1/sync wire document.
+type syncResponse struct {
+	// Generation is the origin's journal generation as of this
+	// response; the puller stores it as its next since.
+	Generation uint64 `json:"generation"`
+	// ModuliHex is every novel modulus ingested after the requested
+	// since, oldest first.
+	ModuliHex []string `json:"moduli_hex"`
+}
+
+// Handler serves GET /v1/sync?since=<gen> over the journal.
+func (j *Journal) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "cluster: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var since uint64
+		if q := r.URL.Query().Get("since"); q != "" {
+			v, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "cluster: since must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		gen, keys := j.Since(since)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(syncResponse{Generation: gen, ModuliHex: keys})
+	}
+}
+
+// Syncer is the pull side of snapshot sync: a background loop that
+// periodically asks every peer's journal for moduli ingested since the
+// last pull and folds them into the local service. The local snapshot's
+// shard ownership filters what actually lands — a replica pulls the
+// whole feed but indexes only the moduli homed in its owned shards —
+// and moduli the replica already has dedupe away, so the mesh is safe
+// to over-deliver on.
+type Syncer struct {
+	// Self is this replica's placement name (skipped if it appears in
+	// Peers).
+	Self string
+	// Peers are the other replicas' advertised addresses.
+	Peers []string
+	// Service receives the pulled deltas.
+	Service *keycheck.Service
+	// Interval between pull rounds (default 1s).
+	Interval time.Duration
+	// Timeout per pull request (default 5s).
+	Timeout time.Duration
+	// Metrics/Events receive sync telemetry (nil disables).
+	Metrics *telemetry.Registry
+	// Events receives sync events (nil disables).
+	Events *telemetry.EventLog
+
+	client    *http.Client
+	mu        sync.Mutex
+	positions map[string]uint64
+}
+
+func (s *Syncer) interval() time.Duration {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return time.Second
+}
+
+func (s *Syncer) timeout() time.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (s *Syncer) httpClient() *http.Client {
+	if s.client == nil {
+		s.client = &http.Client{Timeout: s.timeout()}
+	}
+	return s.client
+}
+
+// Run pulls from every peer on the interval until ctx is done.
+func (s *Syncer) Run(ctx context.Context) {
+	tick := time.NewTicker(s.interval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.PullOnce(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// PullOnce performs one pull round across all peers and reports how
+// many novel moduli landed in the local index.
+func (s *Syncer) PullOnce(ctx context.Context) int {
+	landed := 0
+	for _, peer := range s.Peers {
+		if peer == s.Self {
+			continue
+		}
+		n, err := s.pullPeer(ctx, peer)
+		if err != nil {
+			s.Metrics.Counter(`cluster_sync_errors_total{peer="` + peer + `"}`).Inc()
+			s.Events.Debug(ctx, "sync pull failed",
+				slog.String("peer", peer),
+				slog.String("error", err.Error()))
+			continue
+		}
+		landed += n
+	}
+	return landed
+}
+
+func (s *Syncer) pullPeer(ctx context.Context, peer string) (int, error) {
+	s.mu.Lock()
+	since := s.positions[peer]
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(ctx, s.timeout())
+	defer cancel()
+	url := fmt.Sprintf("http://%s/v1/sync?since=%d", peer, since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+		return 0, fmt.Errorf("cluster: sync from %s: HTTP %d", peer, resp.StatusCode)
+	}
+	var sr syncResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxReplicaBody)).Decode(&sr); err != nil {
+		return 0, err
+	}
+	s.Metrics.Counter("cluster_sync_pulls_total").Inc()
+	if len(sr.ModuliHex) == 0 {
+		s.setPosition(peer, sr.Generation)
+		return 0, nil
+	}
+	store := scanstore.New()
+	now := time.Now().UTC()
+	for _, hex := range sr.ModuliHex {
+		n, err := keycheck.ParseModulusHex(hex)
+		if err != nil {
+			// A peer serving malformed moduli is a peer bug; skip the
+			// key, keep the rest of the batch.
+			s.Metrics.Counter("cluster_sync_malformed_total").Inc()
+			continue
+		}
+		store.AddBareKeyObservation(peer, now, scanstore.SourceCensys, scanstore.HTTPS, n)
+	}
+	rep, err := s.Service.Ingest(ctx, keycheck.BuildInput{Store: store})
+	if err != nil {
+		return 0, err
+	}
+	// Only advance past this batch once it is actually in the index;
+	// a failed ingest re-pulls the same tail next round.
+	s.setPosition(peer, sr.Generation)
+	s.Metrics.Counter("cluster_sync_moduli_total").Add(int64(rep.DeltaModuli))
+	if rep.DeltaModuli > 0 {
+		s.Events.Info(ctx, "sync delta ingested",
+			slog.String("peer", peer),
+			slog.Uint64("generation", sr.Generation),
+			slog.Int("novel", rep.DeltaModuli),
+			slog.Int("duplicates", rep.Duplicates),
+			slog.Int("skipped", rep.Skipped))
+	}
+	return rep.DeltaModuli, nil
+}
+
+func (s *Syncer) setPosition(peer string, gen uint64) {
+	s.mu.Lock()
+	if s.positions == nil {
+		s.positions = make(map[string]uint64)
+	}
+	s.positions[peer] = gen
+	s.mu.Unlock()
+}
+
+// Positions returns a copy of the per-peer journal positions (for
+// status endpoints and tests).
+func (s *Syncer) Positions() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.positions))
+	for k, v := range s.positions {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/telemetry"
+)
+
+func TestJournalSince(t *testing.T) {
+	j := &Journal{}
+	if gen, keys := j.Since(0); gen != 0 || keys != nil {
+		t.Fatalf("empty journal: Since(0) = %d/%v", gen, keys)
+	}
+	if got := j.Append(nil); got != 0 {
+		t.Errorf("empty append bumped the generation to %d", got)
+	}
+	if got := j.Append([]string{"aa", "bb"}); got != 1 {
+		t.Errorf("first append generation = %d, want 1", got)
+	}
+	if got := j.Append([]string{"cc"}); got != 2 {
+		t.Errorf("second append generation = %d, want 2", got)
+	}
+	gen, keys := j.Since(0)
+	if gen != 2 || len(keys) != 3 || keys[0] != "aa" || keys[2] != "cc" {
+		t.Errorf("Since(0) = %d/%v, want 2/[aa bb cc]", gen, keys)
+	}
+	if _, keys := j.Since(1); len(keys) != 1 || keys[0] != "cc" {
+		t.Errorf("Since(1) = %v, want [cc]", keys)
+	}
+	if gen, keys := j.Since(2); gen != 2 || keys != nil {
+		t.Errorf("Since(head) = %d/%v, want 2/nil", gen, keys)
+	}
+}
+
+// TestJournalCoalesce overflows the entry bound: the journal must stay
+// bounded while a reader at any position still receives every key
+// appended after it — over-delivery is fine, loss is not.
+func TestJournalCoalesce(t *testing.T) {
+	j := &Journal{}
+	const total = maxJournalEntries + 200
+	for i := 0; i < total; i++ {
+		j.Append([]string{fmt.Sprintf("k%04d", i)})
+	}
+	j.mu.Lock()
+	entries := len(j.entries)
+	j.mu.Unlock()
+	if entries > maxJournalEntries {
+		t.Errorf("journal holds %d entries, bound is %d", entries, maxJournalEntries)
+	}
+	gen, keys := j.Since(0)
+	if gen != total {
+		t.Errorf("generation = %d, want %d", gen, total)
+	}
+	if len(keys) != total {
+		t.Fatalf("Since(0) returned %d keys, want all %d", len(keys), total)
+	}
+	// A reader positioned mid-log gets at least everything after its
+	// position (coalescing may re-deliver older keys, never drop newer).
+	const pos = total - 50
+	_, tail := j.Since(pos)
+	want := make(map[string]bool, 50)
+	for i := pos; i < total; i++ {
+		want[fmt.Sprintf("k%04d", i)] = true
+	}
+	for _, k := range tail {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Errorf("Since(%d) lost %d keys after the position", pos, len(want))
+	}
+}
+
+// TestSyncPropagation walks a novel modulus through the full loop:
+// routed ingest lands it on one owner of its home shard, anti-entropy
+// pulls replicate it to the other owner (and only there — non-owners
+// skip it), and the mesh quiesces instead of echoing forever.
+func TestSyncPropagation(t *testing.T) {
+	rt, replicas := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+	p := rt.Placement()
+
+	addrs := make([]string, len(replicas))
+	baseline := 0
+	for i, rep := range replicas {
+		addrs[i] = rep.addr
+		baseline += rep.svc.Index().Snapshot().Moduli()
+	}
+
+	resp := rt.ingest(ctx, []string{modNs.Text(16)}, []*big.Int{modNs})
+	if resp.DeltaModuli != 1 || resp.Degraded {
+		t.Fatalf("routed ingest = %+v, want one novel modulus landed", resp)
+	}
+
+	syncers := make([]*Syncer, len(replicas))
+	for i, rep := range replicas {
+		syncers[i] = &Syncer{
+			Self:    rep.addr,
+			Peers:   addrs,
+			Service: rep.svc,
+			Metrics: telemetry.New(),
+		}
+	}
+	pullAll := func() int {
+		landed := 0
+		for _, s := range syncers {
+			landed += s.PullOnce(ctx)
+		}
+		return landed
+	}
+	// Round 1 replicates the key to its other home-shard owner; by the
+	// end of round 2 every peer has seen (and deduped or skipped) it.
+	pullAll()
+	pullAll()
+
+	owners := map[string]bool{}
+	for _, o := range p.Owners(keycheck.ShardOf(modNs, p.Shards())) {
+		owners[o] = true
+	}
+	after := 0
+	for _, rep := range replicas {
+		snap := rep.svc.Index().Snapshot()
+		after += snap.Moduli()
+		has := snap.Check(modNs).Known
+		if owners[rep.addr] && !has {
+			t.Errorf("owner %s missing the synced modulus", rep.addr)
+		}
+		if !owners[rep.addr] && has {
+			t.Errorf("non-owner %s indexed a modulus outside its shards", rep.addr)
+		}
+	}
+	if after != baseline+len(owners) {
+		t.Errorf("total moduli %d, want baseline %d + %d replication copies", after, baseline, len(owners))
+	}
+
+	// The mesh must go quiet: no new deltas, no journal growth.
+	gens := make([]uint64, len(replicas))
+	for i, rep := range replicas {
+		gens[i] = rep.journal.Generation()
+	}
+	if landed := pullAll(); landed != 0 {
+		t.Errorf("settled mesh still landed %d moduli", landed)
+	}
+	for i, rep := range replicas {
+		if g := rep.journal.Generation(); g != gens[i] {
+			t.Errorf("replica %s journal grew %d -> %d after quiescence", rep.addr, gens[i], g)
+		}
+	}
+}

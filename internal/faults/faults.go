@@ -109,14 +109,14 @@ type Decision struct {
 // same seed and connection order. Next is safe for concurrent use; when
 // several servers share one Plan they draw from one global sequence.
 type Plan struct {
-	mu      sync.Mutex
-	rng     *rand.Rand // nil in every-N mode
-	weights Weights
-	everyN  int
+	mu       sync.Mutex
+	rng      *rand.Rand // nil in every-N mode
+	weights  Weights
+	everyN   int
 	everyAct Action
-	crashAt int64 // crash on this 1-based connection; 0 = never
-	conns   int64
-	counts  [numActions]int64
+	crashAt  int64 // crash on this 1-based connection; 0 = never
+	conns    int64
+	counts   [numActions]int64
 }
 
 // NewPlan returns a Plan drawing faults at the given per-connection

@@ -100,13 +100,42 @@ func NewAPI(svc *Service, limiter *RateLimiter, reg *telemetry.Registry) *API {
 //	POST /v1/ingest     fold new moduli into the live index
 //	GET  /v1/stats      index, cache and limiter statistics
 //	GET  /v1/exemplars  known factored/clean corpus keys (?n=8)
+//	GET  /healthz       liveness: 200 while the process serves at all
+//	GET  /readyz        readiness: 200 only with a snapshot loaded and
+//	                    the drain gate open (503 otherwise)
 func (a *API) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", a.withRequestID(a.handleCheck))
 	mux.HandleFunc("/v1/ingest", a.withRequestID(a.handleIngest))
 	mux.HandleFunc("/v1/stats", a.withRequestID(a.handleStats))
 	mux.HandleFunc("/v1/exemplars", a.withRequestID(a.handleExemplars))
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
 	return mux
+}
+
+// handleHealthz is the liveness probe: it answers as long as the
+// process accepts connections, carrying no judgement about the index.
+// Deliberately the cheapest possible handler — no parsing, no locks
+// beyond the response write — so an aggressive prober costs nothing.
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe the cluster router keys replica
+// selection on: 200 only when a snapshot is published and the drain
+// gate is open. A draining replica flips to 503 here while still
+// finishing its in-flight checks, so the router stops sending new
+// traffic without the replica dropping anything.
+func (a *API) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !a.svc.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
 }
 
 // withRequestID resolves the request's correlation ID — a valid inbound
@@ -224,6 +253,12 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	a.writeJSON(w, http.StatusOK, rep)
 }
+
+// ParseSubmission parses a /v1/check request body — the JSON envelope
+// (modulus_hex / cert_pem / cert_der) or a raw PEM — into a validated
+// modulus. Exported so the cluster router can resolve a submission's
+// home shard before forwarding it.
+func ParseSubmission(body []byte) (*big.Int, error) { return parseSubmission(body) }
 
 // parseSubmission accepts the JSON envelope or a raw PEM body.
 func parseSubmission(body []byte) (*big.Int, error) {

@@ -68,6 +68,29 @@ type Snapshot struct {
 	// entries with it so a verdict computed against one snapshot can
 	// never be served as current after a swap to another.
 	gen uint64
+	// own, when non-nil, marks the shards this snapshot actually
+	// indexes — the cluster-replica case, where each process owns a
+	// placement-assigned subset and the unowned shards stay empty. A
+	// nil own means the snapshot indexes every shard (the standalone
+	// and router-less deployments).
+	own []bool
+}
+
+// owns reports whether the snapshot indexes shard si.
+func (s *Snapshot) owns(si int) bool { return s.own == nil || (si < len(s.own) && s.own[si]) }
+
+// Owned lists the shards this snapshot indexes; nil means all of them.
+func (s *Snapshot) Owned() []int {
+	if s.own == nil {
+		return nil
+	}
+	var out []int
+	for si, ok := range s.own {
+		if ok {
+			out = append(out, si)
+		}
+	}
+	return out
 }
 
 // snapGen issues process-unique snapshot generations.
@@ -104,6 +127,12 @@ type BuildInput struct {
 	Fingerprint *fingerprint.Result
 	// Shards is the partition count (default DefaultShards).
 	Shards int
+	// OwnShards, when non-nil, restricts the build to the listed shard
+	// indices — the cluster-replica form, where placement assigns each
+	// process a subset of the hash space. Moduli homed in other shards
+	// are dropped; checks against those shards come back Partial and
+	// the router is expected to consult an owner instead.
+	OwnShards []int
 }
 
 // Build constructs a Snapshot from a completed study's corpus. The
@@ -118,7 +147,16 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 		nShards = DefaultShards
 	}
 	moduli, keys := in.Store.DistinctModuli()
-	snap := &Snapshot{shards: make([]*shard, nShards), moduli: len(moduli), gen: snapGen.Add(1)}
+	snap := &Snapshot{shards: make([]*shard, nShards), gen: snapGen.Add(1)}
+	if in.OwnShards != nil {
+		snap.own = make([]bool, nShards)
+		for _, si := range in.OwnShards {
+			if si < 0 || si >= nShards {
+				return nil, fmt.Errorf("keycheck: build: owned shard %d out of range 0..%d", si, nShards-1)
+			}
+			snap.own[si] = true
+		}
+	}
 	byShard := make([][]*big.Int, nShards)
 	for i := range snap.shards {
 		snap.shards[i] = &shard{factored: make(map[string]Entry)}
@@ -129,9 +167,13 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 	}
 	for i, key := range keys {
 		si := shardOf(key, nShards)
+		if !snap.owns(si) {
+			continue
+		}
 		sh := snap.shards[si]
 		byShard[si] = append(byShard[si], moduli[i])
 		sh.moduli++
+		snap.moduli++
 		if f, ok := factors[key]; ok {
 			sh.factored[key] = Entry{P: f.P, Q: f.Q}
 			snap.factored++
@@ -201,6 +243,17 @@ func shardOf(key string, nShards int) int {
 	return int(h.Sum64() % uint64(nShards))
 }
 
+// ShardOf maps a modulus to its home shard — the same FNV-1a placement
+// Build and Check use, exported so the cluster router can route a
+// submission to the replica owning its home shard without holding any
+// index itself.
+func ShardOf(n *big.Int, nShards int) int {
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	return shardOf(string(n.Bytes()), nShards)
+}
+
 var one = big.NewInt(1)
 
 // Check answers for one modulus. The fast path is the home shard's
@@ -211,6 +264,13 @@ func (s *Snapshot) Check(n *big.Int) Verdict {
 	key := string(n.Bytes())
 	home := shardOf(key, len(s.shards))
 	v := Verdict{Status: StatusClean, ModulusBits: n.BitLen(), Shard: home}
+	if !s.owns(home) {
+		// A cluster replica that doesn't own the home shard cannot
+		// answer membership: its clean/unknown half is only about the
+		// shards it holds. The GCD sweep below still runs over the
+		// owned products — a shared prime in any of them is definitive.
+		v.Partial = true
+	}
 	homeShard := s.shards[home]
 	inBloom := homeShard.bloom.mayContain(key)
 	if inBloom {
@@ -315,14 +375,17 @@ type ShardStats struct {
 
 // SnapshotStats describes the snapshot for /v1/stats.
 type SnapshotStats struct {
-	Moduli   int          `json:"moduli"`
-	Factored int          `json:"factored"`
-	Shards   []ShardStats `json:"shards"`
+	Moduli   int `json:"moduli"`
+	Factored int `json:"factored"`
+	// Owned lists the shards this snapshot indexes; absent when the
+	// snapshot holds the whole hash space (non-cluster deployments).
+	Owned  []int        `json:"owned_shards,omitempty"`
+	Shards []ShardStats `json:"shards"`
 }
 
 // Stats summarizes the snapshot.
 func (s *Snapshot) Stats() SnapshotStats {
-	st := SnapshotStats{Moduli: s.moduli, Factored: s.factored}
+	st := SnapshotStats{Moduli: s.moduli, Factored: s.factored, Owned: s.Owned()}
 	for _, sh := range s.shards {
 		ss := ShardStats{Moduli: sh.moduli, Factored: len(sh.factored)}
 		if p := sh.product(); p != nil {

@@ -102,6 +102,63 @@ func goldenSnapshot(t *testing.T, shards int) *Snapshot {
 	return snap
 }
 
+// TestPartialSnapshotCheck pins the cluster-replica verdict contract: a
+// snapshot built with OwnShards answers definitively for moduli homed
+// in its shards, marks everything else Partial, and a Partial verdict
+// is still allowed to convict — the GCD sweep over the owned products
+// is authoritative even when membership is not.
+func TestPartialSnapshotCheck(t *testing.T) {
+	store := scanstore.New()
+	store.AddBareKeyObservation("10.0.0.1", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN1)
+	store.AddBareKeyObservation("10.0.0.2", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN2)
+	store.AddBareKeyObservation("10.0.0.3", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN3)
+	fpr := &fingerprint.Result{Factors: map[string]fingerprint.Factors{
+		string(modN1.Bytes()): {P: p2, Q: p1},
+		string(modN2.Bytes()): {P: p1, Q: p3},
+	}}
+	// At 8 shards, N2 homes in shard 6; N1 (shard 2) and N3 (shard 7)
+	// live elsewhere.
+	own := []int{ShardOf(modN2, 8)}
+	snap, err := Build(context.Background(), BuildInput{Store: store, Fingerprint: fpr, Shards: 8, OwnShards: own})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owned home shard: full membership answer, no Partial.
+	v := snap.Check(modN2)
+	if v.Status != StatusFactored || !v.Known || v.Partial {
+		t.Errorf("owned member N2 = %+v, want factored/known/definitive", v)
+	}
+
+	// Unowned home shard, but N1 shares p1 with the owned N2: the GCD
+	// sweep convicts it even though membership is unanswerable here.
+	v = snap.Check(modN1)
+	if v.Status != StatusSharedFactor || v.Known || !v.Partial {
+		t.Errorf("unowned member N1 = %+v, want shared_factor/partial", v)
+	}
+	if v.Divisor != p1.Text(16) {
+		t.Errorf("N1 divisor %s, want shared prime %s", v.Divisor, p1.Text(16))
+	}
+	if v.FactorP != p2.Text(16) || v.FactorQ != p1.Text(16) {
+		t.Errorf("N1 recovered factors %s,%s", v.FactorP, v.FactorQ)
+	}
+
+	// Unowned home shard and no shared prime: the clean answer is only
+	// about the owned products, and Partial says so.
+	v = snap.Check(modN3)
+	if v.Status != StatusClean || v.Known || !v.Partial {
+		t.Errorf("unowned member N3 = %+v, want clean/partial", v)
+	}
+
+	if st := snap.Stats(); len(st.Owned) != 1 || st.Owned[0] != own[0] {
+		t.Errorf("Stats().Owned = %v, want %v", st.Owned, own)
+	}
+	// The partial corpus only indexes what it owns.
+	if got := snap.Moduli(); got != 1 {
+		t.Errorf("partial snapshot moduli = %d, want 1 (N2 only)", got)
+	}
+}
+
 // TestVerdictSemantics runs the four golden inputs through Check at
 // several shard counts: sharding must never change a verdict.
 func TestVerdictSemantics(t *testing.T) {

@@ -37,6 +37,15 @@ type IngestReport struct {
 	// before and became factored because a delta modulus shares one of
 	// their primes — the "When RSA Fails" fold-back.
 	Refactored int `json:"refactored"`
+	// Skipped counts delta moduli homed in shards this snapshot does
+	// not own (cluster replicas only): they are someone else's to
+	// index, and the sync protocol delivers them there.
+	Skipped int `json:"skipped,omitempty"`
+	// NovelKeys carries the hex encodings of the novel moduli that
+	// entered the index — the feed a cluster replica appends to its
+	// sync journal so peers can pull the delta. Excluded from the JSON
+	// report; it is operational plumbing, not a statistic.
+	NovelKeys []string `json:"-"`
 	// TouchedShards is how many shards were replaced; the remaining
 	// shards of the new snapshot are the predecessor's, by reference.
 	TouchedShards int `json:"touched_shards"`
@@ -119,6 +128,10 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	var novelKeys []string
 	for i, key := range keys {
 		si := shardOf(key, nShards)
+		if !s.owns(si) {
+			rep.Skipped++
+			continue
+		}
 		if memberSet(si)[key] {
 			rep.Duplicates++
 			continue
@@ -129,6 +142,10 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		deltas[si].newMods = append(deltas[si].newMods, moduli[i])
 	}
 	rep.DeltaModuli = len(novelMods)
+	rep.NovelKeys = make([]string, len(novelMods))
+	for j, n := range novelMods {
+		rep.NovelKeys[j] = hexOf(n)
+	}
 	if len(novelMods) == 0 {
 		// Nothing new: the snapshot is already the merge.
 		rep.Elapsed = time.Since(start)
@@ -392,6 +409,7 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		moduli:   s.moduli + len(novelMods),
 		factored: s.factored,
 		gen:      snapGen.Add(1),
+		own:      s.own,
 	}
 	rep.Shards = make([]ShardIngest, nShards)
 	for si := range s.shards {

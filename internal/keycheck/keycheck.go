@@ -70,6 +70,13 @@ type Verdict struct {
 	Attribution string `json:"attribution,omitempty"`
 	// Cached marks a verdict answered from the LRU cache.
 	Cached bool `json:"cached,omitempty"`
+	// Partial marks a verdict from a cluster replica that does not own
+	// the modulus's home shard: the membership half (Known, exact
+	// factors) is unauthoritative and only the replica's own shard
+	// products were consulted. A compromised verdict is still
+	// definitive; a clean one is not. The router strips this flag once
+	// it has gathered full coverage.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Compromised reports whether the verdict means the private key is

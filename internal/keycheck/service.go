@@ -52,6 +52,12 @@ type Config struct {
 	Faults *faults.Plan
 	// FaultStall is the injected Stall duration (default 10ms).
 	FaultStall time.Duration
+	// OnIngest, when set, observes every ingest that published a new
+	// snapshot — the cluster sync journal's feed. The report carries
+	// the hex keys of the novel moduli in NovelKeys. Called after the
+	// successor snapshot is live, still under the ingest serialization
+	// lock, so observers see publishes in order.
+	OnIngest func(IngestReport)
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +283,19 @@ func (s *Service) Check(ctx context.Context, n *big.Int) (Verdict, error) {
 // Publish. Ingests are serialized against each other; an ingest that
 // finds nothing new publishes nothing.
 func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, error) {
+	// Ingests ride the same drain gate as checks: one arriving after
+	// Drain started is refused, and Drain waits for a running merge to
+	// publish (or fail) before declaring the service quiesced — the
+	// shutdown race the cluster exercises on every rolling restart.
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		return IngestReport{}, ErrDraining
+	}
+	s.inflight.Add(1)
+	s.drainMu.Unlock()
+	defer s.inflight.Done()
+
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	reg := s.cfg.Metrics
@@ -318,11 +337,29 @@ func (s *Service) Ingest(ctx context.Context, in BuildInput) (IngestReport, erro
 		slog.Duration("latency", time.Since(start)))
 	if ns != snap {
 		s.Publish(ns)
+		if s.cfg.OnIngest != nil {
+			s.cfg.OnIngest(rep)
+		}
 		track.Finish("published")
 	} else {
 		track.Finish("noop")
 	}
 	return rep, nil
+}
+
+// Draining reports whether Drain has started — the readiness half of
+// the /readyz probe: a draining replica still answers in-flight checks
+// but must stop receiving new traffic.
+func (s *Service) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// Ready reports whether the service can take traffic: a snapshot is
+// published and the drain gate is open.
+func (s *Service) Ready() bool {
+	return s.idx.Snapshot() != nil && !s.Draining()
 }
 
 // Drain stops admitting new checks and blocks until every in-flight

@@ -107,7 +107,7 @@ func TestServiceShedsWhenSaturated(t *testing.T) {
 		done <- err
 	}()
 	// Wait for the stalled check to occupy the sole worker.
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
 	for reg.GaugeValue("keycheck_inflight_checks") < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("stalled check never acquired the worker")
@@ -150,7 +150,7 @@ func TestDrain(t *testing.T) {
 		v, err := svc.Check(context.Background(), modN1)
 		done <- outcome{v, err}
 	}()
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
 	for reg.GaugeValue("keycheck_inflight_checks") < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("in-flight check never started")
@@ -349,5 +349,52 @@ func TestStaleVerdictNotCachedAcrossSwap(t *testing.T) {
 	v, err = svc.Check(ctx, modN1)
 	if err != nil || !v.Cached || v.Status != StatusClean {
 		t.Fatalf("third check = %+v, %v, want cached clean", v, err)
+	}
+}
+
+// TestIngestRacesDrain pins the rolling-restart invariant: an Ingest
+// racing Drain either lands completely (the delta is in the published
+// snapshot) or is refused with ErrDraining — never a half-merged index.
+// Drain must also wait out an in-flight merge before declaring quiesced.
+func TestIngestRacesDrain(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		svc := NewService(goldenSnapshot(t, 2), Config{Workers: 2})
+		baseline := svc.Index().Snapshot().Moduli()
+		delta := deltaStore(t, new(big.Int).Mul(s1, s2), new(big.Int).Mul(s3, s4))
+
+		type outcome struct {
+			rep IngestReport
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			rep, err := svc.Ingest(context.Background(), BuildInput{Store: delta})
+			done <- outcome{rep, err}
+		}()
+		// Vary the interleaving: sometimes Drain beats the ingest to the
+		// gate, sometimes it arrives mid-merge and must wait.
+		time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+		svc.Drain()
+		out := <-done
+
+		got := svc.Index().Snapshot().Moduli()
+		switch {
+		case out.err == nil:
+			if out.rep.DeltaModuli != 2 || got != baseline+2 {
+				t.Fatalf("round %d: ingest won but report=%+v moduli=%d (baseline %d)",
+					round, out.rep, got, baseline)
+			}
+		case errors.Is(out.err, ErrDraining):
+			if got != baseline {
+				t.Fatalf("round %d: refused ingest mutated the index: %d -> %d", round, baseline, got)
+			}
+		default:
+			t.Fatalf("round %d: ingest err = %v, want nil or ErrDraining", round, out.err)
+		}
+
+		// The gate stays shut after drain.
+		if _, err := svc.Ingest(context.Background(), BuildInput{Store: delta}); !errors.Is(err, ErrDraining) {
+			t.Fatalf("round %d: post-drain ingest err = %v, want ErrDraining", round, err)
+		}
 	}
 }

@@ -63,21 +63,24 @@ func Transient(err error) bool {
 	return false
 }
 
-// retryBudget is the scan-global cap on retries. A dying network must
-// not multiply scan traffic — exactly the abuse-throttling concern that
-// gets internet scanners blocklisted.
-type retryBudget struct {
+// Budget is a shared cap on retries across one operation — a scan, or
+// the cluster router's request fan-out. A dying network must not
+// multiply traffic — exactly the abuse-throttling concern that gets
+// internet scanners blocklisted, and the retry-storm guard a router in
+// front of a degraded cluster needs.
+type Budget struct {
 	n atomic.Int64
 }
 
-func newRetryBudget(n int64) *retryBudget {
-	b := &retryBudget{}
+// NewBudget returns a budget of n retries.
+func NewBudget(n int64) *Budget {
+	b := &Budget{}
 	b.n.Store(n)
 	return b
 }
 
-// take consumes one retry if any remain.
-func (b *retryBudget) take() bool {
+// Take consumes one retry if any remain.
+func (b *Budget) Take() bool {
 	for {
 		v := b.n.Load()
 		if v <= 0 {
@@ -89,20 +92,24 @@ func (b *retryBudget) take() bool {
 	}
 }
 
-// lockedRand is a mutex-guarded seeded source for backoff jitter, so
-// same-seed scans draw the same jitter sequence.
-type lockedRand struct {
+// Remaining reports how many retries are left.
+func (b *Budget) Remaining() int64 { return b.n.Load() }
+
+// Jitter is a mutex-guarded seeded source for backoff jitter, so
+// same-seed runs draw the same jitter sequence.
+type Jitter struct {
 	mu sync.Mutex
 	r  *rand.Rand
 }
 
-func newLockedRand(seed int64) *lockedRand {
-	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+// NewJitter returns a seeded jitter source.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{r: rand.New(rand.NewSource(seed))}
 }
 
-// jitter spreads d over [0.5d, 1.5d) so synchronized failures don't
+// Jitter spreads d over [0.5d, 1.5d) so synchronized failures don't
 // retry in lockstep (the thundering-herd guard).
-func (l *lockedRand) jitter(d time.Duration) time.Duration {
+func (l *Jitter) Jitter(d time.Duration) time.Duration {
 	l.mu.Lock()
 	f := 0.5 + l.r.Float64()
 	l.mu.Unlock()

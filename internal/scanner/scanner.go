@@ -203,8 +203,8 @@ func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error)
 	case budgetSize < 0:
 		budgetSize = math.MaxInt64
 	}
-	budget := newRetryBudget(budgetSize)
-	jitter := newLockedRand(o.RetrySeed)
+	budget := NewBudget(budgetSize)
+	jitter := NewJitter(o.RetrySeed)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -251,7 +251,7 @@ dispatch:
 // transient failures only — exponential backoff with jitter and another
 // attempt, bounded per target by MaxAttempts and globally by the retry
 // budget.
-func scanOne(ctx context.Context, addr string, o Options, ins instruments, budget *retryBudget, jitter *lockedRand) Result {
+func scanOne(ctx context.Context, addr string, o Options, ins instruments, budget *Budget, jitter *Jitter) Result {
 	ins.targets.Inc()
 	backoff := o.RetryBackoff
 	for attempt := 1; ; attempt++ {
@@ -265,7 +265,7 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments, budge
 		if !res.Transient || attempt >= o.MaxAttempts || ctx.Err() != nil {
 			return res
 		}
-		if !budget.take() {
+		if !budget.Take() {
 			ins.budgetOut.Inc()
 			ins.events.Warn(ctx, "scan retry budget exhausted",
 				slog.String("addr", addr),
@@ -274,7 +274,7 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments, budge
 			return res
 		}
 		ins.retried(Cause(res.Err))
-		sleep := jitter.jitter(backoff)
+		sleep := jitter.Jitter(backoff)
 		ins.events.Debug(ctx, "scan retry",
 			slog.String("addr", addr),
 			slog.String("cause", Cause(res.Err)),
@@ -283,7 +283,7 @@ func scanOne(ctx context.Context, addr string, o Options, ins instruments, budge
 		if !sleepCtx(ctx, sleep) {
 			return res
 		}
-		backoff = doubleBackoff(backoff, maxBackoff(o))
+		backoff = DoubleBackoff(backoff, maxBackoff(o))
 	}
 }
 
@@ -298,11 +298,11 @@ func maxBackoff(o Options) time.Duration {
 	return time.Second
 }
 
-// doubleBackoff is the exponential step, saturating at cap and immune
+// DoubleBackoff is the exponential step, saturating at cap and immune
 // to overflow: left uncapped, repeated doubling wraps negative after
 // ~40 retries of the 25ms default, and a negative sleep turns the
 // backoff into a hot retry loop against an already-struggling target.
-func doubleBackoff(d, cap time.Duration) time.Duration {
+func DoubleBackoff(d, cap time.Duration) time.Duration {
 	d *= 2
 	if d > cap || d <= 0 {
 		return cap

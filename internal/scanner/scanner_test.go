@@ -256,13 +256,13 @@ func TestBackoffCapped(t *testing.T) {
 			t.Fatalf("retry %d: backoff %v exceeds cap %v", i, backoff, cap)
 		}
 		total += backoff
-		backoff = doubleBackoff(backoff, cap)
+		backoff = DoubleBackoff(backoff, cap)
 	}
 	if limit := time.Duration(retries) * cap; total > limit {
 		t.Fatalf("total sleep %v exceeds bound %v", total, limit)
 	}
 	// The old schedule overflows exactly where the capped one saturates.
-	if d := doubleBackoff(time.Duration(1)<<62, cap); d != cap {
+	if d := DoubleBackoff(time.Duration(1)<<62, cap); d != cap {
 		t.Errorf("overflow step = %v, want saturation at %v", d, cap)
 	}
 }

@@ -141,7 +141,15 @@ func (d *Diagnostics) ListenAndServe(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: d.Mux(), ReadHeaderTimeout: 5 * time.Second}
+	// The write timeout must outlast /debug/pprof's 30s default profile
+	// window; read/idle just need to evict stuck or abandoned scrapers.
+	srv := &http.Server{
+		Handler:           d.Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
 	go srv.Serve(ln)
 	return s, nil

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Cluster serving benchmark: three keyserverd replicas behind keyrouter,
+# driven by keyload through the router. Writes BENCH_cluster.json with
+# the aggregate routed throughput (floor: 1000 checks/sec).
+set -eu
+
+DURATION="${BENCH_DURATION:-5s}"
+CLIENTS="${BENCH_CLIENTS:-16}"
+OUT="${BENCH_OUT:-BENCH_cluster.json}"
+
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for P in $PIDS; do kill "$P" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/keyserverd" ./cmd/keyserverd
+go build -o "$TMP/keyrouter" ./cmd/keyrouter
+go build -o "$TMP/keyload" ./cmd/keyload
+
+BASE=$((27000 + ($$ % 1900)))
+R1="127.0.0.1:$BASE"; R2="127.0.0.1:$((BASE + 1))"; R3="127.0.0.1:$((BASE + 2))"
+ROUTER="127.0.0.1:$((BASE + 3))"
+PEERS="$R1,$R2,$R3"
+
+I=0
+for R in $R1 $R2 $R3; do
+    I=$((I + 1))
+    "$TMP/keyserverd" -scale 0.05 -bits 128 -subsets 3 -seed 2016 -rate 0 \
+        -listen "$R" -cluster-self "$R" -cluster-peers "$PEERS" \
+        >"$TMP/r$I.out" 2>"$TMP/r$I.err" &
+    PIDS="$PIDS $!"
+done
+
+"$TMP/keyrouter" -listen "$ROUTER" -replicas "$PEERS" \
+    >"$TMP/router.out" 2>"$TMP/router.err" &
+PIDS="$PIDS $!"
+
+READY=""
+for _ in $(seq 1 600); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ROUTER/readyz")" = "200" ]; then
+        READY=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$READY" ] || { echo "bench-cluster: router never became ready" >&2; cat "$TMP/router.err" "$TMP/r1.err" >&2; exit 1; }
+
+"$TMP/keyload" -addr "$ROUTER" -c "$CLIENTS" -duration "$DURATION" \
+    -bench-name cluster -json "$OUT"
+
+# The acceptance floor: the routed cluster must sustain >= 1000
+# checks/sec aggregate through the scatter-gather path.
+RATE="$(sed -n 's/.*"checks_per_sec": \([0-9]*\)\..*/\1/p' "$OUT")"
+[ -n "$RATE" ] || { echo "bench-cluster: no checks_per_sec in $OUT" >&2; cat "$OUT" >&2; exit 1; }
+[ "$RATE" -ge 1000 ] || { echo "bench-cluster: $RATE checks/sec below the 1000 floor" >&2; cat "$OUT" >&2; exit 1; }
+
+echo "cluster bench ok ($RATE checks/sec -> $OUT)"

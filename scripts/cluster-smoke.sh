@@ -1,0 +1,150 @@
+#!/bin/sh
+# Cluster smoke test: three keyserverd replicas (same seed, partial
+# placement-owned snapshots) behind keyrouter. A known-weak corpus key
+# must come back factored through the router, a known-clean key clean
+# and known, a novel key clean and unknown with full shard coverage; a
+# routed ingest must land on the home-shard owners and the sync protocol
+# must replicate it to every owner; killing one replica must leave the
+# cluster serving correct, non-degraded verdicts (replication 2).
+set -eu
+
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for P in $PIDS; do kill "$P" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/keyserverd" ./cmd/keyserverd
+go build -o "$TMP/keyrouter" ./cmd/keyrouter
+
+# Cluster mode needs the peer list up front, so ports are fixed, derived
+# from the PID to dodge collisions between concurrent runs.
+BASE=$((21000 + ($$ % 1900)))
+R1="127.0.0.1:$BASE"; R2="127.0.0.1:$((BASE + 1))"; R3="127.0.0.1:$((BASE + 2))"
+ROUTER="127.0.0.1:$((BASE + 3))"
+PEERS="$R1,$R2,$R3"
+
+I=0
+for R in $R1 $R2 $R3; do
+    I=$((I + 1))
+    "$TMP/keyserverd" -scale 0.05 -bits 128 -subsets 3 -seed 2016 -rate 0 \
+        -listen "$R" -cluster-self "$R" -cluster-peers "$PEERS" \
+        -sync-interval 200ms >"$TMP/r$I.out" 2>"$TMP/r$I.err" &
+    PIDS="$PIDS $!"
+    eval "PID$I=$!"
+done
+
+"$TMP/keyrouter" -listen "$ROUTER" -replicas "$PEERS" \
+    >"$TMP/router.out" 2>"$TMP/router.err" &
+PIDS="$PIDS $!"
+
+# The router's /readyz turns 200 only once every shard has a usable
+# owner, which transitively waits for the replicas' study runs.
+READY=""
+for _ in $(seq 1 600); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ROUTER/readyz")" = "200" ]; then
+        READY=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$READY" ] || { echo "cluster-smoke: router never became ready" >&2; cat "$TMP/router.err" "$TMP/r1.err" >&2; exit 1; }
+
+# Baseline per-replica corpus sizes (for the sync-propagation check).
+BASELINE=0
+for R in $R1 $R2 $R3; do
+    M="$(curl -s "http://$R/v1/stats" | sed -n 's/.*"index":{"moduli":\([0-9]*\).*/\1/p')"
+    [ -n "$M" ] || { echo "cluster-smoke: no moduli count from $R" >&2; cat "$TMP"/r*.err >&2; exit 1; }
+    BASELINE=$((BASELINE + M))
+done
+
+# Known-answer keys, pulled from the cluster itself via the router.
+curl -sf "http://$ROUTER/v1/exemplars?n=4" >"$TMP/exemplars"
+WEAK="$(sed -n 's/.*"factored":\["\([0-9a-f]*\)".*/\1/p' "$TMP/exemplars")"
+CLEAN="$(sed -n 's/.*"clean":\["\([0-9a-f]*\)".*/\1/p' "$TMP/exemplars")"
+[ -n "$WEAK" ] && [ -n "$CLEAN" ] \
+    || { echo "cluster-smoke: no exemplars via router" >&2; cat "$TMP/exemplars" >&2; exit 1; }
+
+# A known-weak corpus key: factored, with factors, one hop, no
+# degradation — the home-shard owner answers authoritatively.
+curl -sf -X POST -d "{\"modulus_hex\":\"$WEAK\"}" "http://$ROUTER/v1/check" >"$TMP/weak"
+grep -q '"status":"factored"' "$TMP/weak" && grep -q '"factor_p_hex"' "$TMP/weak" \
+    || { echo "cluster-smoke: weak key not factored via router" >&2; cat "$TMP/weak" >&2; exit 1; }
+grep -q '"degraded":true' "$TMP/weak" \
+    && { echo "cluster-smoke: healthy cluster answered degraded" >&2; cat "$TMP/weak" >&2; exit 1; }
+
+# A known-clean corpus key: clean and recognized.
+curl -sf -X POST -d "{\"modulus_hex\":\"$CLEAN\"}" "http://$ROUTER/v1/check" >"$TMP/clean"
+grep -q '"status":"clean"' "$TMP/clean" && grep -q '"known":true' "$TMP/clean" \
+    || { echo "cluster-smoke: clean key wrong via router" >&2; cat "$TMP/clean" >&2; exit 1; }
+
+# A novel modulus scatter-gathers the whole corpus: clean, unknown, and
+# not degraded (full coverage).
+NOVEL=c5a1d9e366c9b3ffd7ab0c929ff8a0102030405060708090a0b0c0d0e0f10305
+curl -sf -X POST -d "{\"modulus_hex\":\"$NOVEL\"}" "http://$ROUTER/v1/check" >"$TMP/novel"
+grep -q '"status":"clean"' "$TMP/novel" \
+    || { echo "cluster-smoke: novel key not clean" >&2; cat "$TMP/novel" >&2; exit 1; }
+grep -q '"known":true' "$TMP/novel" \
+    && { echo "cluster-smoke: novel key claimed known" >&2; cat "$TMP/novel" >&2; exit 1; }
+grep -q '"degraded":true' "$TMP/novel" \
+    && { echo "cluster-smoke: novel scatter degraded on a healthy cluster" >&2; cat "$TMP/novel" >&2; exit 1; }
+
+# /cluster/status: three healthy replicas, replication 2, full coverage.
+curl -sf "http://$ROUTER/cluster/status" >"$TMP/status"
+[ "$(grep -o '"healthy":true' "$TMP/status" | wc -l)" -eq 3 ] \
+    || { echo "cluster-smoke: not all replicas healthy" >&2; cat "$TMP/status" >&2; exit 1; }
+grep -q '"replication":2' "$TMP/status" \
+    || { echo "cluster-smoke: replication != 2" >&2; cat "$TMP/status" >&2; exit 1; }
+grep -q '"uncovered_shards"' "$TMP/status" \
+    && { echo "cluster-smoke: uncovered shards on a healthy cluster" >&2; cat "$TMP/status" >&2; exit 1; }
+
+# Routed ingest: a fresh weak pair lands on the home-shard owners.
+INGEST_W1=801e58579270d8dab1a09cf329cc5a05
+INGEST_W2=7eabc8fe480ede7475777dbe615c3dcf
+curl -sf -X POST -d "{\"moduli_hex\":[\"$INGEST_W1\",\"$INGEST_W2\"]}" \
+    "http://$ROUTER/v1/ingest" >"$TMP/ingest"
+grep -q '"delta_moduli":2' "$TMP/ingest" \
+    || { echo "cluster-smoke: routed ingest did not land 2 moduli" >&2; cat "$TMP/ingest" >&2; exit 1; }
+grep -q '"degraded":true' "$TMP/ingest" \
+    && { echo "cluster-smoke: routed ingest degraded" >&2; cat "$TMP/ingest" >&2; exit 1; }
+
+# The ingested key is immediately known through the router (its home
+# owner indexed it synchronously).
+curl -sf -X POST -d "{\"modulus_hex\":\"$INGEST_W1\"}" "http://$ROUTER/v1/check" >"$TMP/post_ingest"
+grep -q '"known":true' "$TMP/post_ingest" \
+    || { echo "cluster-smoke: ingested key unknown via router" >&2; cat "$TMP/post_ingest" >&2; exit 1; }
+
+# Sync propagation: each of the 2 ingested keys must end up on every
+# owner of its home shard (replication 2), so the summed per-replica
+# corpus grows by exactly 4.
+WANT=$((BASELINE + 4))
+SUM=0
+for _ in $(seq 1 150); do
+    SUM=0
+    for R in $R1 $R2 $R3; do
+        M="$(curl -s "http://$R/v1/stats" | sed -n 's/.*"index":{"moduli":\([0-9]*\).*/\1/p')"
+        SUM=$((SUM + ${M:-0}))
+    done
+    [ "$SUM" -ge "$WANT" ] && break
+    sleep 0.2
+done
+[ "$SUM" -eq "$WANT" ] \
+    || { echo "cluster-smoke: sync propagation: summed moduli $SUM, want $WANT (baseline $BASELINE + 2 keys x replication 2)" >&2; exit 1; }
+
+# Router telemetry is populated.
+curl -sf "http://$ROUTER/metrics" >"$TMP/metrics"
+for METRIC in cluster_forward_total 'cluster_http_requests_total{code="200"}'; do
+    grep -q "$METRIC" "$TMP/metrics" \
+        || { echo "cluster-smoke: /metrics missing $METRIC" >&2; cat "$TMP/metrics" >&2; exit 1; }
+done
+
+# Kill one replica: with replication 2 the cluster stays ready and the
+# weak verdict stays correct and non-degraded via the surviving owner.
+kill -9 "$PID2" 2>/dev/null || true
+sleep 1.5
+[ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ROUTER/readyz")" = "200" ] \
+    || { echo "cluster-smoke: router not ready after losing one of three replicas" >&2; exit 1; }
+curl -sf -X POST -d "{\"modulus_hex\":\"$WEAK\"}" "http://$ROUTER/v1/check" >"$TMP/weak2"
+grep -q '"status":"factored"' "$TMP/weak2" \
+    || { echo "cluster-smoke: weak key lost after replica death" >&2; cat "$TMP/weak2" >&2; exit 1; }
+grep -q '"degraded":true' "$TMP/weak2" \
+    && { echo "cluster-smoke: verdict degraded though a surviving owner holds the shard" >&2; cat "$TMP/weak2" >&2; exit 1; }
+
+echo "cluster smoke ok (routing+scatter+ingest+sync+failover correct via $ROUTER)"
