@@ -55,7 +55,7 @@ func main() {
 		shards       = flag.Int("shards", keycheck.DefaultShards, "cluster-wide shard count (must match the replicas)")
 		replication  = flag.Int("replication", cluster.DefaultReplication, "shard replication factor (must match the replicas)")
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-replica request timeout")
-		retries      = flag.Int("retries", 3, "extra scatter rounds for shards whose owner failed")
+		retries      = flag.Int("retries", 3, "extra scatter rounds for shards whose owner failed (negative: none)")
 		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "first inter-round retry delay (doubled per round, jittered)")
 		retryBudget  = flag.Int64("retry-budget", 10000, "lifetime cap on retry requests (negative disables)")
 		hedgeAfter   = flag.Duration("hedge-after", 250*time.Millisecond, "duplicate a slow home forward to the peer owner after this long (negative disables)")

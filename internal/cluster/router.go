@@ -19,15 +19,18 @@ import (
 
 // RoutedVerdict is the router's answer for one modulus: the replica
 // verdict plus the routing disclosure. When every shard owner was
-// reachable the verdict is exactly what a single full-corpus process
-// would have said; when owners were down the router degrades instead of
-// failing, answers from the coverage it has, and says so.
+// reachable the verdict agrees with a single full-corpus process on
+// compromise: the same keys come back compromised, though one a single
+// process would have pre-factored at ingest time may surface here as
+// shared_factor until sync converges the replicas' factored maps. When
+// owners were down the router degrades instead of failing, answers from
+// the coverage it has, and says so.
 type RoutedVerdict struct {
 	keycheck.Verdict
 	// Replica names the replica whose verdict decided the answer.
 	Replica string `json:"replica,omitempty"`
 	// Hops counts replica requests spent on this answer (1 for the
-	// corpus-member fast path; more for scatter, retries and hedges).
+	// factored-member fast path; more for scatter, retries and hedges).
 	Hops int `json:"hops"`
 	// Degraded marks an answer computed without full shard coverage: a
 	// clean verdict here means "clean as far as the reachable corpus
@@ -53,7 +56,8 @@ type RouterConfig struct {
 	// RequestTimeout bounds one replica round trip (default 10s).
 	RequestTimeout time.Duration
 	// Retries is how many extra scatter rounds a failed shard gets
-	// (default 3).
+	// (default 3; negative selects none — the initial attempt still
+	// runs).
 	Retries int
 	// RetryBackoff is the first inter-round delay, doubled per round
 	// with ±50% jitter (default 50ms).
@@ -82,9 +86,10 @@ type RouterConfig struct {
 }
 
 // Router forwards key checks to the replicas owning the relevant
-// shards. A corpus member is answered by its home-shard owner in one
-// hop; a novel modulus is scatter-gathered across owners of every shard
-// so the full-corpus GCD sweep still happens, just distributed. Owner
+// shards. A modulus the home-shard owner already knows compromised is
+// answered in one hop; everything else — novel moduli and clean corpus
+// members alike — is scatter-gathered across owners of every shard so
+// the full-corpus GCD sweep still happens, just distributed. Owner
 // failures retry against placement peers with backoff, stragglers are
 // hedged, and when a shard has no reachable owner left the router
 // degrades the verdict instead of erroring.
@@ -118,6 +123,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.Retries == 0 {
 		cfg.Retries = 3
+	} else if cfg.Retries < 0 {
+		// Round 0 is the initial attempt, not a retry: clamping keeps
+		// "-retries=-1" meaning "no retries" rather than "no rounds at
+		// all" (which would degrade every verdict and fail every
+		// ingest).
+		cfg.Retries = 0
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
@@ -267,10 +278,13 @@ func (rt *Router) orderedOwners(s int, skip map[string]bool) []*Replica {
 }
 
 // Check routes one validated modulus. The fast path is a single forward
-// to the modulus's home-shard owner — for corpus members (the common
-// case: a user checking a key the study observed) that answer is
-// complete. A novel modulus additionally scatter-gathers across owners
-// of every other shard so the GCD sweep covers the whole corpus.
+// to the modulus's home-shard owner, definitive only when that owner
+// already knows the key compromised. Everything else — novel moduli and
+// clean-so-far corpus members alike — scatter-gathers across owners of
+// every other shard so the GCD sweep covers the whole corpus: replica
+// ingests only GCD a delta against their own owned shards, so a member
+// clean at its home owner can still share a prime with a key homed in a
+// shard that owner does not hold.
 func (rt *Router) Check(ctx context.Context, n *big.Int) RoutedVerdict {
 	hex := n.Text(16)
 	home := keycheck.ShardOf(n, rt.placement.Shards())
@@ -280,19 +294,20 @@ func (rt *Router) Check(ctx context.Context, n *big.Int) RoutedVerdict {
 	homeRes, attempts := rt.forwardHome(ctx, home, hex)
 	hops += attempts
 
-	if homeRes != nil && homeRes.verdict.Known {
-		// A member's verdict from its home-shard owner is complete:
-		// membership and the exact factored map are that shard's, and
-		// batch GCD already ran over the full corpus at build time, so
-		// a member absent from the factored map shares no prime.
+	if homeRes != nil && homeRes.verdict.Compromised() {
+		// A compromised verdict is definitive regardless of coverage:
+		// the factorization (or divisor) is already in hand. A clean
+		// member answer is NOT — membership is the home shard's call,
+		// but post-build ingests land on per-shard owners, so only the
+		// full scatter below proves no reachable shard holds a mate.
 		out := RoutedVerdict{Verdict: homeRes.verdict, Replica: homeRes.replica, Hops: hops}
 		out.Partial = false
 		return out
 	}
 
-	// Novel modulus (or no home answer at all): the GCD sweep needs
-	// every shard's product, so gather coverage from owners of the
-	// shards the home answer didn't span.
+	// Clean member, novel modulus, or no home answer at all: the GCD
+	// sweep needs every shard's product, so gather coverage from owners
+	// of the shards the home answer didn't span.
 	need := make(map[int]bool, rt.placement.Shards())
 	for s := 0; s < rt.placement.Shards(); s++ {
 		need[s] = true
@@ -539,12 +554,15 @@ func (rt *Router) ingest(ctx context.Context, moduliHex []string, mods []*big.In
 	}
 	backoff := rt.cfg.RetryBackoff
 	failed := make(map[int]map[string]bool) // shard -> replicas failed
+rounds:
 	for round := 0; round <= rt.cfg.Retries && len(pending) > 0; round++ {
 		if round > 0 {
 			select {
 			case <-time.After(rt.jitter.Jitter(backoff)):
 			case <-ctx.Done():
-				break
+				// The caller is gone; further rounds would only issue
+				// doomed requests. Leftover moduli come back in Failed.
+				break rounds
 			}
 			backoff = scanner.DoubleBackoff(backoff, 2*time.Second)
 		}

@@ -2,11 +2,14 @@ package cluster
 
 import (
 	"context"
+	"math/big"
 	"net/http"
 	"testing"
+	"time"
 
 	"github.com/factorable/weakkeys/internal/faults"
 	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/telemetry"
 )
 
 // TestRouterVerdicts drives the four golden inputs through the routed
@@ -133,6 +136,140 @@ func TestRouterDegraded(t *testing.T) {
 	}
 	if v.Partial {
 		t.Error("router leaked the replica-level Partial flag; Degraded is the cluster-level signal")
+	}
+}
+
+// TestRouterCrossShardIngest pins the cross-shard coverage fix: two
+// moduli sharing a prime are ingested through the router after the
+// build, homed in shards whose primary owners differ. Neither replica
+// ever sees both moduli, so no ingest-time GCD can pair them — a clean
+// member answer from the home owner must not short-circuit the scatter.
+// (The old member fast path did, and reported both keys clean forever.)
+func TestRouterCrossShardIngest(t *testing.T) {
+	rt, replicas := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+	p := rt.Placement()
+
+	// Two shards whose primary owners differ: with every replica healthy
+	// the routed ingests land on different replicas.
+	sA, sB := -1, -1
+	for a := 0; a < p.Shards() && sA < 0; a++ {
+		for b := 0; b < p.Shards(); b++ {
+			if b != a && p.Owners(a)[0] != p.Owners(b)[0] {
+				sA, sB = a, b
+				break
+			}
+		}
+	}
+	if sA < 0 {
+		t.Fatal("fixture lost its bite: every shard has the same primary owner")
+	}
+
+	// A fresh prime absent from the golden corpus, times odd cofactors
+	// brute-forced to home each product in its target shard. The
+	// cofactors need not be prime: the assertions are on Compromised,
+	// not exact factors.
+	shared := mustHex("eb1289b4ab6c3377")
+	homedIn := func(shard int) *big.Int {
+		c := mustHex("c9d2a6e12c43b285")
+		two := big.NewInt(2)
+		for i := 0; i < 1<<15; i++ {
+			m := new(big.Int).Mul(shared, c)
+			if keycheck.ShardOf(m, p.Shards()) == shard {
+				return m
+			}
+			c.Add(c, two)
+		}
+		t.Fatalf("no cofactor homes a multiple of the shared prime in shard %d", shard)
+		return nil
+	}
+	mA, mB := homedIn(sA), homedIn(sB)
+
+	for _, m := range []*big.Int{mA, mB} {
+		resp := rt.ingest(ctx, []string{m.Text(16)}, []*big.Int{m})
+		if resp.DeltaModuli != 1 || resp.Degraded {
+			t.Fatalf("routed ingest = %+v, want one novel modulus landed", resp)
+		}
+	}
+
+	// Before any sync round each modulus is a clean member of its own
+	// home owner; only the full scatter can pair it with its mate.
+	for _, m := range []*big.Int{mA, mB} {
+		v := rt.Check(ctx, m)
+		if !v.Compromised() {
+			t.Errorf("pre-sync check = %+v, want the scatter to find the shared prime", v.Verdict)
+		}
+		if v.Degraded {
+			t.Errorf("pre-sync check degraded with a healthy cluster: %+v", v)
+		}
+	}
+
+	// Anti-entropy: each home owner pulls the other's journal, and the
+	// foreign modulus re-labels its owned mate even though the foreign
+	// key's own home shard is not indexed there.
+	addrs := make([]string, len(replicas))
+	for i, rep := range replicas {
+		addrs[i] = rep.addr
+	}
+	syncers := make([]*Syncer, len(replicas))
+	for i, rep := range replicas {
+		syncers[i] = &Syncer{Self: rep.addr, Peers: addrs, Service: rep.svc, Metrics: telemetry.New()}
+	}
+	for round := 0; round < 2; round++ {
+		for _, s := range syncers {
+			s.PullOnce(ctx)
+		}
+	}
+	for _, pr := range []struct {
+		owner string
+		m     *big.Int
+	}{
+		{p.Owners(sA)[0], mA},
+		{p.Owners(sB)[0], mB},
+	} {
+		snap := replicaByAddr(t, replicas, pr.owner).svc.Index().Snapshot()
+		if v := snap.Check(pr.m); !v.Compromised() {
+			t.Errorf("after sync, owner %s still reports its member clean: %+v", pr.owner, v)
+		}
+	}
+
+	// Routed checks stay compromised once the owners have converged.
+	for _, m := range []*big.Int{mA, mB} {
+		v := rt.Check(ctx, m)
+		if !v.Compromised() || v.Degraded {
+			t.Errorf("post-sync check = %+v degraded=%v, want compromised", v.Verdict, v.Degraded)
+		}
+	}
+}
+
+// TestRouterNegativeRetries: a negative Retries must mean "no retry
+// rounds", not "no rounds at all" — the initial attempt still runs, so
+// a healthy cluster answers definitively and ingests still land.
+func TestRouterNegativeRetries(t *testing.T) {
+	_, replicas := newTestCluster(t, 3, 8, 2)
+	ctx := context.Background()
+	addrs := make([]string, len(replicas))
+	for i, rep := range replicas {
+		addrs[i] = rep.addr
+	}
+	rt, err := NewRouter(RouterConfig{
+		Replicas:       addrs,
+		Shards:         8,
+		Replication:    2,
+		RequestTimeout: 5 * time.Second,
+		Retries:        -1,
+		Metrics:        telemetry.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rt.Check(ctx, modNc)
+	if v.Status != keycheck.StatusClean || v.Degraded || v.Partial {
+		t.Errorf("Nc with retries=-1 = %+v degraded=%v, want the initial round to still run", v.Verdict, v.Degraded)
+	}
+	resp := rt.ingest(ctx, []string{modNc.Text(16)}, []*big.Int{modNc})
+	if resp.DeltaModuli != 1 || resp.Degraded {
+		t.Errorf("ingest with retries=-1 = %+v, want one modulus landed on the initial round", resp)
 	}
 }
 

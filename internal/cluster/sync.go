@@ -35,10 +35,18 @@ type journalEntry struct {
 }
 
 // maxJournalEntries bounds the entry count; on overflow the oldest half
-// is coalesced into one entry (keeping every key, under the newest
-// merged generation), so a stale peer may re-receive moduli it already
-// has — which ingest dedupes — but never misses one.
+// is coalesced into fewer entries (keeping every key, each merged run
+// under its newest generation), so a stale peer may re-receive moduli
+// it already has — which ingest dedupes — but never misses one.
 const maxJournalEntries = 512
+
+// maxSyncKeys caps one /v1/sync response at entry granularity: a page
+// stops growing once it holds this many keys, and the client loops on
+// the returned generation for the rest. A single entry larger than the
+// cap is still returned whole (a page must make progress), so the true
+// bound per response is max(maxSyncKeys, largest single ingest) —
+// bounded in turn by the per-request ingest limits.
+const maxSyncKeys = 1024
 
 // Append records one ingest's novel moduli (hex) and returns the new
 // generation. Empty appends are ignored.
@@ -51,12 +59,25 @@ func (j *Journal) Append(keys []string) uint64 {
 	j.gen++
 	j.entries = append(j.entries, journalEntry{gen: j.gen, keys: append([]string(nil), keys...)})
 	if len(j.entries) > maxJournalEntries {
-		half := len(j.entries) / 2
-		merged := journalEntry{gen: j.entries[half-1].gen}
-		for _, e := range j.entries[:half] {
-			merged.keys = append(merged.keys, e.keys...)
+		// Coalesce the oldest half into runs of at most maxSyncKeys
+		// keys, never merging two entries into a run a single sync page
+		// could not carry — merging everything into one entry would
+		// make the oldest page unbounded. Runs of already-large entries
+		// may not shrink the count below the bound; the bound targets
+		// per-entry overhead, not total key retention, which is
+		// unbounded by design.
+		half := j.entries[:len(j.entries)/2]
+		var merged []journalEntry
+		for _, e := range half {
+			last := len(merged) - 1
+			if last >= 0 && len(merged[last].keys)+len(e.keys) <= maxSyncKeys {
+				merged[last].keys = append(merged[last].keys, e.keys...)
+				merged[last].gen = e.gen
+			} else {
+				merged = append(merged, journalEntry{gen: e.gen, keys: append([]string(nil), e.keys...)})
+			}
 		}
-		j.entries = append([]journalEntry{merged}, j.entries[half:]...)
+		j.entries = append(merged, j.entries[len(half):]...)
 	}
 	return j.gen
 }
@@ -75,6 +96,37 @@ func (j *Journal) Since(g uint64) (uint64, []string) {
 	return j.gen, keys
 }
 
+// Page returns one bounded page of keys appended after generation g,
+// oldest first: up to maxSyncKeys keys at entry granularity, the
+// generation through which the page is complete (the puller's next
+// since), and whether the journal holds more beyond it. The wire
+// protocol uses Page so a restarted or long-lagging peer pulling from
+// zero drains the tail in bounded responses instead of one unbounded
+// body.
+func (j *Journal) Page(g uint64) (gen uint64, keys []string, more bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	gen = g
+	for _, e := range j.entries {
+		if e.gen <= g {
+			continue
+		}
+		if len(keys) > 0 && len(keys)+len(e.keys) > maxSyncKeys {
+			more = true
+			break
+		}
+		keys = append(keys, e.keys...)
+		gen = e.gen
+	}
+	if !more && len(keys) == 0 {
+		// Empty tail: report the journal's own generation so the
+		// puller's position catches up — or rewinds, if the origin
+		// restarted with a fresh journal and g is from its past life.
+		gen = j.gen
+	}
+	return gen, keys, more
+}
+
 // Generation returns the journal's current generation.
 func (j *Journal) Generation() uint64 {
 	j.mu.Lock()
@@ -82,17 +134,22 @@ func (j *Journal) Generation() uint64 {
 	return j.gen
 }
 
-// syncResponse is the GET /v1/sync wire document.
+// syncResponse is the GET /v1/sync wire document: one page of the
+// origin's journal tail.
 type syncResponse struct {
-	// Generation is the origin's journal generation as of this
-	// response; the puller stores it as its next since.
+	// Generation is the journal generation through which ModuliHex is
+	// complete; the puller stores it as its next since.
 	Generation uint64 `json:"generation"`
-	// ModuliHex is every novel modulus ingested after the requested
-	// since, oldest first.
+	// ModuliHex is the page of novel moduli ingested after the
+	// requested since, oldest first, capped near maxSyncKeys.
 	ModuliHex []string `json:"moduli_hex"`
+	// More reports that the journal extends past Generation: the puller
+	// should loop with since=Generation until it drains the tail.
+	More bool `json:"more,omitempty"`
 }
 
-// Handler serves GET /v1/sync?since=<gen> over the journal.
+// Handler serves GET /v1/sync?since=<gen> over the journal, one bounded
+// page per request.
 func (j *Journal) Handler() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -108,9 +165,9 @@ func (j *Journal) Handler() http.HandlerFunc {
 			}
 			since = v
 		}
-		gen, keys := j.Since(since)
+		gen, keys, more := j.Page(since)
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		json.NewEncoder(w).Encode(syncResponse{Generation: gen, ModuliHex: keys})
+		json.NewEncoder(w).Encode(syncResponse{Generation: gen, ModuliHex: keys, More: more})
 	}
 }
 
@@ -199,7 +256,29 @@ func (s *Syncer) PullOnce(ctx context.Context) int {
 	return landed
 }
 
+// maxSyncBody bounds one sync page read on the client side. Pages are
+// capped near maxSyncKeys keys server-side, but a single oversized
+// journal entry (one large ingest) is returned whole, so the limit
+// leaves room for the per-request ingest bound at the maximum modulus
+// size rather than mirroring the 1 MiB request bound.
+const maxSyncBody = 32 << 20
+
+// pullPeer drains a peer's journal tail: one bounded page per request,
+// ingested and position-advanced independently, looping while the peer
+// reports more. A restarted or long-lagging replica catches up in
+// maxSyncKeys-sized steps instead of choking on one unbounded body.
 func (s *Syncer) pullPeer(ctx context.Context, peer string) (int, error) {
+	landed := 0
+	for {
+		n, more, err := s.pullPage(ctx, peer)
+		landed += n
+		if err != nil || !more {
+			return landed, err
+		}
+	}
+}
+
+func (s *Syncer) pullPage(ctx context.Context, peer string) (int, bool, error) {
 	s.mu.Lock()
 	since := s.positions[peer]
 	s.mu.Unlock()
@@ -208,25 +287,30 @@ func (s *Syncer) pullPeer(ctx context.Context, peer string) (int, error) {
 	url := fmt.Sprintf("http://%s/v1/sync?since=%d", peer, since)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	resp, err := s.httpClient().Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
-		return 0, fmt.Errorf("cluster: sync from %s: HTTP %d", peer, resp.StatusCode)
+		return 0, false, fmt.Errorf("cluster: sync from %s: HTTP %d", peer, resp.StatusCode)
 	}
 	var sr syncResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxReplicaBody)).Decode(&sr); err != nil {
-		return 0, err
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSyncBody)).Decode(&sr); err != nil {
+		return 0, false, err
 	}
 	s.Metrics.Counter("cluster_sync_pulls_total").Inc()
+	if sr.More && sr.Generation <= since {
+		// A page claiming more without advancing would loop forever; a
+		// correct peer always moves past since when it has entries.
+		return 0, false, fmt.Errorf("cluster: sync from %s: page stuck at generation %d", peer, since)
+	}
 	if len(sr.ModuliHex) == 0 {
 		s.setPosition(peer, sr.Generation)
-		return 0, nil
+		return 0, sr.More, nil
 	}
 	store := scanstore.New()
 	now := time.Now().UTC()
@@ -238,14 +322,18 @@ func (s *Syncer) pullPeer(ctx context.Context, peer string) (int, error) {
 			s.Metrics.Counter("cluster_sync_malformed_total").Inc()
 			continue
 		}
-		store.AddBareKeyObservation(peer, now, scanstore.SourceCensys, scanstore.HTTPS, n)
+		// SourceSync marks the key as replicated, not observed: the
+		// original observation's provenance lives on the origin
+		// replica, and per-source statistics must not count this copy
+		// as a fresh scan hit.
+		store.AddBareKeyObservation(peer, now, scanstore.SourceSync, scanstore.HTTPS, n)
 	}
 	rep, err := s.Service.Ingest(ctx, keycheck.BuildInput{Store: store})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	// Only advance past this batch once it is actually in the index;
-	// a failed ingest re-pulls the same tail next round.
+	// Only advance past this page once it is actually in the index; a
+	// failed ingest re-pulls the same page next round.
 	s.setPosition(peer, sr.Generation)
 	s.Metrics.Counter("cluster_sync_moduli_total").Add(int64(rep.DeltaModuli))
 	if rep.DeltaModuli > 0 {
@@ -256,7 +344,7 @@ func (s *Syncer) pullPeer(ctx context.Context, peer string) (int, error) {
 			slog.Int("duplicates", rep.Duplicates),
 			slog.Int("skipped", rep.Skipped))
 	}
-	return rep.DeltaModuli, nil
+	return rep.DeltaModuli, sr.More, nil
 }
 
 func (s *Syncer) setPosition(peer string, gen uint64) {

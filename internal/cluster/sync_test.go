@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/factorable/weakkeys/internal/keycheck"
@@ -71,6 +75,152 @@ func TestJournalCoalesce(t *testing.T) {
 	}
 	if len(want) != 0 {
 		t.Errorf("Since(%d) lost %d keys after the position", pos, len(want))
+	}
+}
+
+// TestJournalPage walks a reader through a journal far larger than one
+// page: every key must arrive (over-delivery from coalescing is fine),
+// every page must respect the cap and advance the position, and the
+// final position must land on the journal head.
+func TestJournalPage(t *testing.T) {
+	j := &Journal{}
+	const perEntry = 3
+	const entries = maxJournalEntries + 188 // overflow: paging must survive coalescing
+	want := make(map[string]bool, entries*perEntry)
+	for i := 0; i < entries; i++ {
+		keys := make([]string, perEntry)
+		for k := range keys {
+			keys[k] = fmt.Sprintf("p%05d", i*perEntry+k)
+			want[keys[k]] = true
+		}
+		j.Append(keys)
+	}
+	pos, pages := uint64(0), 0
+	for {
+		gen, keys, more := j.Page(pos)
+		pages++
+		if pages > 100 {
+			t.Fatal("paging never terminated")
+		}
+		if len(keys) > maxSyncKeys {
+			t.Errorf("page %d holds %d keys, cap is %d", pages, len(keys), maxSyncKeys)
+		}
+		for _, k := range keys {
+			delete(want, k)
+		}
+		if more && gen <= pos {
+			t.Fatalf("page %d claims more but did not advance past %d", pages, pos)
+		}
+		pos = gen
+		if !more {
+			break
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("paged reads lost %d keys", len(want))
+	}
+	if pos != j.Generation() {
+		t.Errorf("final position %d, want the journal head %d", pos, j.Generation())
+	}
+	if pages < 2 {
+		t.Errorf("tail of %d keys fit in %d page(s); cap %d not exercised", entries*perEntry, pages, maxSyncKeys)
+	}
+	// At the head: an empty terminal page holding the position.
+	if gen, keys, more := j.Page(pos); gen != pos || len(keys) != 0 || more {
+		t.Errorf("Page(head) = %d/%d keys/more=%v, want %d/0/false", gen, len(keys), more, pos)
+	}
+	// Past the head (the origin restarted with a fresh journal): the
+	// position rewinds to the current head instead of freezing.
+	if gen, _, more := j.Page(pos + 100); gen != j.Generation() || more {
+		t.Errorf("Page(past head) = %d more=%v, want rewind to %d", gen, more, j.Generation())
+	}
+}
+
+// TestJournalPageOversizedEntry: a single ingest larger than the page
+// cap is returned whole — a page must make progress — and the entries
+// around it still page at entry granularity.
+func TestJournalPageOversizedEntry(t *testing.T) {
+	j := &Journal{}
+	wide := make([]string, maxSyncKeys+10)
+	for i := range wide {
+		wide[i] = fmt.Sprintf("b%05d", i)
+	}
+	j.Append([]string{"aa"})
+	j.Append(wide)
+	j.Append([]string{"zz"})
+
+	gen, keys, more := j.Page(0)
+	if gen != 1 || len(keys) != 1 || keys[0] != "aa" || !more {
+		t.Errorf("Page(0) = %d/%d keys/more=%v, want the first entry alone", gen, len(keys), more)
+	}
+	gen, keys, more = j.Page(gen)
+	if gen != 2 || len(keys) != len(wide) || !more {
+		t.Errorf("Page(1) = %d/%d keys/more=%v, want the oversized entry whole", gen, len(keys), more)
+	}
+	gen, keys, more = j.Page(gen)
+	if gen != 3 || len(keys) != 1 || keys[0] != "zz" || more {
+		t.Errorf("Page(2) = %d/%d keys/more=%v, want the final entry", gen, len(keys), more)
+	}
+}
+
+// TestSyncerPaging drains a journal tail that spans several pages
+// through the real HTTP pull path: one PullOnce must land every key,
+// in multiple bounded requests, and leave the position at the head.
+func TestSyncerPaging(t *testing.T) {
+	// Pairwise-coprime keys (small primes) keep the ingest trivial: the
+	// test is about the wire protocol, not the GCD sweep.
+	var want []string
+	const total = 2*maxSyncKeys + 453
+	for v := 65537; len(want) < total; v += 2 {
+		prime := true
+		for d := 3; d*d <= v; d += 2 {
+			if v%d == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			want = append(want, fmt.Sprintf("%x", v))
+		}
+	}
+	j := &Journal{}
+	for i := 0; i < total; i += 7 {
+		end := i + 7
+		if end > total {
+			end = total
+		}
+		j.Append(want[i:end])
+	}
+
+	var requests atomic.Int32
+	mux := http.NewServeMux()
+	handler := j.Handler()
+	mux.HandleFunc("/v1/sync", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		handler(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	origin := strings.TrimPrefix(srv.URL, "http://")
+
+	svc := keycheck.NewService(keycheck.Empty(8), keycheck.Config{Workers: 4})
+	s := &Syncer{Self: "puller", Peers: []string{origin}, Service: svc, Metrics: telemetry.New()}
+	ctx := context.Background()
+
+	if landed := s.PullOnce(ctx); landed != total {
+		t.Fatalf("first pull landed %d moduli, want all %d", landed, total)
+	}
+	if n := int(requests.Load()); n < 3 {
+		t.Errorf("tail of %d keys drained in %d request(s); paging not exercised", total, n)
+	}
+	if got := svc.Index().Snapshot().Moduli(); got != total {
+		t.Errorf("index holds %d moduli, want %d", got, total)
+	}
+	if pos := s.Positions()[origin]; pos != j.Generation() {
+		t.Errorf("position %d after the pull, want the journal head %d", pos, j.Generation())
+	}
+	if landed := s.PullOnce(ctx); landed != 0 {
+		t.Errorf("drained journal still landed %d moduli", landed)
 	}
 }
 

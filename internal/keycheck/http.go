@@ -244,7 +244,9 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 			a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("moduli_hex[%d]: %w", i, err))
 			return
 		}
-		store.AddBareKeyObservation(clientKey(r), now, scanstore.SourceCensys, scanstore.HTTPS, n)
+		// SourceAPI: a client-submitted key, not a scan observation —
+		// per-source statistics must not credit a scan project with it.
+		store.AddBareKeyObservation(clientKey(r), now, scanstore.SourceAPI, scanstore.HTTPS, n)
 	}
 	rep, err := a.svc.Ingest(r.Context(), BuildInput{Store: store})
 	if err != nil {

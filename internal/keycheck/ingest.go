@@ -39,7 +39,10 @@ type IngestReport struct {
 	Refactored int `json:"refactored"`
 	// Skipped counts delta moduli homed in shards this snapshot does
 	// not own (cluster replicas only): they are someone else's to
-	// index, and the sync protocol delivers them there.
+	// index, and the sync protocol delivers them there. They still ride
+	// the GCD sweep against the owned shards, so an owned member
+	// sharing a prime with one is re-labeled factored here (counted in
+	// Refactored) even though the mate itself lands elsewhere.
 	Skipped int `json:"skipped,omitempty"`
 	// NovelKeys carries the hex encodings of the novel moduli that
 	// entered the index — the feed a cluster replica appends to its
@@ -86,6 +89,17 @@ func (d *shardDelta) entry(key string, e Entry) {
 // it shares with — clean until now — is re-labeled factored too, so the
 // member-implies-factored-or-clean invariant of Check survives.
 //
+// On a cluster replica (a snapshot with owned shards) delta moduli
+// homed in unowned shards are not indexed — their home owner does that —
+// but they still participate in every GCD pass: against the owned shard
+// products (re-labeling owned mates) and in the delta-internal batch
+// GCD. That lets a replica learn that one of its own members shares a
+// prime with a key homed on a disjoint owner set when the sync feed
+// delivers that key. The re-label only fires for mates already indexed
+// when the foreign key arrives, so it is convergence hygiene, not the
+// correctness guarantee — the router's full scatter at check time is
+// what consults every live owner.
+//
 // in.Store carries the delta observations (required); in.Fingerprint,
 // when set, contributes known factorizations and vendor labels for
 // delta moduli. in.Shards must be zero or match the snapshot. The
@@ -126,10 +140,15 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	}
 	var novelMods []*big.Int
 	var novelKeys []string
+	var foreignMods []*big.Int
 	for i, key := range keys {
 		si := shardOf(key, nShards)
 		if !s.owns(si) {
+			// Unowned home shard: not ours to index, but the modulus
+			// still joins the GCD sweep below so owned members sharing
+			// one of its primes get re-labeled.
 			rep.Skipped++
+			foreignMods = append(foreignMods, moduli[i])
 			continue
 		}
 		if memberSet(si)[key] {
@@ -146,18 +165,29 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	for j, n := range novelMods {
 		rep.NovelKeys[j] = hexOf(n)
 	}
-	if len(novelMods) == 0 {
+	if len(novelMods) == 0 && len(foreignMods) == 0 {
 		// Nothing new: the snapshot is already the merge.
 		rep.Elapsed = time.Since(start)
 		return s, rep, nil
 	}
 
+	// sweep is every delta modulus taking part in the GCD passes: the
+	// owned novel ones first (their indices line up with novelMods), then
+	// the foreign ones, which contribute divisors and mate re-labels but
+	// no index entries.
+	sweep := novelMods
+	if len(foreignMods) > 0 {
+		sweep = make([]*big.Int, 0, len(novelMods)+len(foreignMods))
+		sweep = append(sweep, novelMods...)
+		sweep = append(sweep, foreignMods...)
+	}
+
 	// (b) Delta-internal batch GCD: primes shared among the new moduli
 	// themselves (a fresh batch of devices from the same flawed
 	// firmware) never touch the old products.
-	deltaDiv := make(map[int]*big.Int) // novel index -> divisor
-	if len(novelMods) > 1 {
-		res, err := batchgcd.FactorCtx(ctx, novelMods)
+	deltaDiv := make(map[int]*big.Int) // sweep index -> divisor
+	if len(sweep) > 1 {
+		res, err := batchgcd.FactorCtx(ctx, sweep)
 		if err != nil {
 			return nil, rep, fmt.Errorf("keycheck: ingest: delta batch GCD: %w", err)
 		}
@@ -166,23 +196,23 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		}
 	}
 
-	// (a) Each novel modulus against every existing shard product, via
-	// one remainder tree of the delta per shard: gcd(N, P mod N) =
-	// gcd(N, P) exposes the primes N shares with the shard without ever
-	// forming P/N. Shards fan out on the shared kernel pool, like
-	// Build. Alongside, each shard scans its own leaves against the
-	// divisors it yielded to find the old members being shared with
-	// (the mates to re-label).
+	// (a) Each sweep modulus (owned and foreign alike) against every
+	// existing shard product, via one remainder tree of the delta per
+	// shard: gcd(N, P mod N) = gcd(N, P) exposes the primes N shares
+	// with the shard without ever forming P/N. Shards fan out on the
+	// shared kernel pool, like Build. Alongside, each shard scans its
+	// own leaves against the divisors it yielded to find the old members
+	// being shared with (the mates to re-label).
 	type mate struct {
 		shard   int
 		key     string
 		mod     *big.Int
 		divisor *big.Int
 	}
-	shardGCD := make([]map[int]*big.Int, nShards) // shard -> novel idx -> gi
+	shardGCD := make([]map[int]*big.Int, nShards) // shard -> sweep idx -> gi
 	mates := make([][]mate, nShards)
 	errs := make([]error, nShards)
-	dt, err := prodtree.NewCtx(ctx, novelMods)
+	dt, err := prodtree.NewCtx(ctx, sweep)
 	if err != nil {
 		return nil, rep, fmt.Errorf("keycheck: ingest: delta tree: %w", err)
 	}
@@ -203,7 +233,7 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		}
 		var gis []*big.Int
 		for j, rem := range rems {
-			n := novelMods[j]
+			n := sweep[j]
 			var gi *big.Int
 			if rem.Sign() == 0 {
 				// n divides the whole shard product: every prime of
@@ -398,6 +428,21 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 				}
 			}
 		}
+	}
+
+	// A sweep of only foreign moduli that re-labeled nothing leaves the
+	// snapshot untouched: publishing a structurally identical successor
+	// would purge verdict caches for no reason.
+	changed := false
+	for _, d := range deltas {
+		if len(d.newMods) > 0 || len(d.newEntries) > 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		rep.Elapsed = time.Since(start)
+		return s, rep, nil
 	}
 
 	// (c) Structural merge: untouched shards are shared by reference;

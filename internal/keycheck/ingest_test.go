@@ -175,6 +175,81 @@ func TestIngestStructuralSharing(t *testing.T) {
 	}
 }
 
+// TestIngestForeignMate: on a partial (cluster-replica) snapshot, a
+// delta modulus homed in an unowned shard is skipped from the index but
+// still rides the GCD sweep — an owned member sharing one of its primes
+// must be re-labeled. The owner of the foreign key may share no shard
+// with this replica, so the sync feed is the only way the pair ever
+// meets here.
+func TestIngestForeignMate(t *testing.T) {
+	const shards = 4
+	ctx := context.Background()
+	ownShard := ShardOf(modN3, shards)
+
+	store := scanstore.New()
+	store.AddBareKeyObservation("10.0.0.3", date(2013, 5, 1), scanstore.SourceRapid7, scanstore.SSH, modN3)
+	snap, err := Build(ctx, BuildInput{Store: store, Shards: shards, OwnShards: []int{ownShard}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// foreignWith brute-forces an odd cofactor so p*c homes in a shard
+	// this snapshot does not own.
+	foreignWith := func(p *big.Int) *big.Int {
+		c := mustHex("c132b11d89ab4e63")
+		two := big.NewInt(2)
+		for i := 0; i < 1<<14; i++ {
+			m := new(big.Int).Mul(p, c)
+			if ShardOf(m, shards) != ownShard {
+				return m
+			}
+			c.Add(c, two)
+		}
+		t.Fatalf("no cofactor keeps a multiple of %s out of shard %d", p.Text(16), ownShard)
+		return nil
+	}
+
+	// A foreign modulus sharing q1 with the owned clean member N3.
+	dm := foreignWith(q1)
+	ns, rep, err := snap.Ingest(ctx, BuildInput{Store: deltaStore(t, dm)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 1 || rep.DeltaModuli != 0 || rep.Refactored != 1 || rep.NewFactored != 0 {
+		t.Errorf("report %+v, want 1 skipped / 0 delta / 1 refactored", rep)
+	}
+	if ns == snap {
+		t.Fatal("mate re-label did not publish a new snapshot")
+	}
+	if ns.Moduli() != snap.Moduli() {
+		t.Errorf("foreign modulus changed the index size: %d -> %d", snap.Moduli(), ns.Moduli())
+	}
+	v := ns.Check(modN3)
+	if v.Status != StatusFactored || !v.Known {
+		t.Fatalf("owned mate N3 = %+v, want factored after the foreign sweep", v)
+	}
+	if v.FactorP != q1.Text(16) && v.FactorQ != q1.Text(16) {
+		t.Errorf("mate factors %s,%s lack the shared prime %s", v.FactorP, v.FactorQ, q1.Text(16))
+	}
+	if v := ns.Check(dm); v.Known {
+		t.Errorf("foreign modulus was indexed: %+v", v)
+	}
+
+	// A foreign modulus sharing nothing with the owned corpus is a pure
+	// pass-through: no new snapshot, nothing indexed, nothing re-labeled.
+	noop := foreignWith(s2)
+	ns2, rep2, err := ns.Ingest(ctx, BuildInput{Store: deltaStore(t, noop)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns2 != ns {
+		t.Error("foreign-only clean ingest published a needless snapshot")
+	}
+	if rep2.Skipped != 1 || rep2.DeltaModuli != 0 || rep2.Refactored != 0 {
+		t.Errorf("noop report %+v, want 1 skipped and nothing else", rep2)
+	}
+}
+
 // TestIngestShardMismatch: re-sharding requires a full rebuild.
 func TestIngestShardMismatch(t *testing.T) {
 	snap := goldenSnapshot(t, 4)

@@ -40,6 +40,21 @@ const (
 	SourceCensys    Source = "Censys"
 )
 
+// Serving-layer sources: moduli that entered a corpus through the check
+// service's write paths rather than a scan project. They never feed the
+// paper's per-source tables (report rendering marks them unknown), and
+// keeping them distinct stops replicated or user-submitted keys from
+// polluting scan-source statistics and attribution.
+const (
+	// SourceAPI marks a modulus submitted through POST /v1/ingest; the
+	// record's IP is the submitting client's.
+	SourceAPI Source = "API"
+	// SourceSync marks a modulus replicated from a cluster peer via
+	// /v1/sync; the record's IP is the peer's address, and the original
+	// observation's provenance lives on the origin replica.
+	SourceSync Source = "Sync"
+)
+
 // HostRecord is one observation: a host at an IP served a certificate on
 // a date.
 type HostRecord struct {
