@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos bench-telemetry bench-keyserver bench-ingest bench-gcd bench-cluster
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos scan-smoke bench-telemetry bench-keyserver bench-ingest bench-gcd bench-cluster bench-scan
 
 # ci is the full gate: compile everything, vet, run the test suite under
 # the race detector (which includes every fault-injection test), smoke-
 # test the live telemetry path, the seeded-chaos recovery path, the
-# online key-check service and the replicated cluster (routing, sync and
-# a replica-kill failover) end to end, guard the instrumentation
-# hot-path cost, and hold the batch-GCD kernel to its scaling and
-# allocation floors.
-ci: build vet race smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos bench-telemetry bench-gcd
+# online key-check service, the replicated cluster (routing, sync and a
+# replica-kill failover) and the scan->ingest pipeline end to end, guard
+# the instrumentation hot-path cost, and hold the batch-GCD kernel and
+# the scan engine to their throughput and exactness floors.
+ci: build vet race smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos scan-smoke bench-telemetry bench-gcd bench-scan
 
 build:
 	$(GO) build ./...
@@ -84,11 +84,25 @@ bench-keyserver:
 bench-ingest:
 	sh ./scripts/bench-ingest.sh
 
+# scan-smoke runs zscand over a chaos-faulted simulated fleet against a
+# live keyserverd: the re-sweep recovers every fault, delta checkpoints
+# land on disk, and the continuous-ingest bridge flips a weak fleet
+# modulus from clean/unknown to factored with no server restart.
+scan-smoke:
+	sh ./scripts/scan-smoke.sh
+
 # bench-gcd runs the batch-GCD pipeline on kernel engines of increasing
 # width and writes BENCH_gcd.json (floors: >=2x over serial on >=4
 # cores; arena recycling must allocate strictly less than no-arena).
 bench-gcd:
 	sh ./scripts/bench-gcd.sh
+
+# bench-scan benchmarks the zscan engine in process and writes
+# BENCH_scan.json (floors: >= 50000 probes/sec single-process; the
+# 2-shard audit and concurrent shard sweep must be exact — zero
+# overlap, zero omission, every device harvested once).
+bench-scan:
+	sh ./scripts/bench-scan.sh
 
 # bench-telemetry guards the instrumentation hot path: counter Add and
 # histogram Observe must stay in the low nanoseconds, event Emit within

@@ -1,0 +1,45 @@
+// Command freeport prints N free TCP ports on 127.0.0.1, one per line.
+// Smoke and chaos scripts use it instead of hardcoded port ranges so
+// parallel CI runs cannot collide. All listeners are held open until
+// every port has been chosen, so one invocation never returns
+// duplicates; the usual freeport caveat applies across invocations (a
+// port is only reserved once the script's server binds it).
+//
+// Usage: freeport [n]   (default 1)
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 || v > 256 {
+			fmt.Fprintf(os.Stderr, "freeport: want a count in [1,256], got %q\n", os.Args[1])
+			os.Exit(2)
+		}
+		n = v
+	}
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeport:", err)
+			os.Exit(1)
+		}
+		listeners = append(listeners, ln)
+	}
+	for _, ln := range listeners {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}

@@ -1,0 +1,261 @@
+// Command scanbench benchmarks the zscan engine and audits its
+// sharding guarantees, in process (no sockets — the simulated fleet is
+// the target, so the number measured is the engine's own overhead:
+// permutation stepping, pacing bookkeeping, window accounting, harvest
+// dispatch).
+//
+// It produces three results:
+//
+//   - throughput: best unpaced single-process probes/sec over -runs
+//     sweeps of the whole space — the number scripts/bench-scan.sh
+//     holds against its floor;
+//   - shard audit: a per-index visit count over a 2-shard walk of the
+//     full space, proving zero overlap and zero omission exactly (not
+//     statistically), plus the shard size imbalance;
+//   - shard sweep: both shards run as concurrent engines against one
+//     fleet, checking the harvested device sets partition the fleet.
+//
+// Results land in a JSON report (see -json); scripts/bench-scan.sh
+// enforces the floors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/zscan"
+)
+
+type shardAudit struct {
+	Shards   int    `json:"shards"`
+	Space    uint64 `json:"space"`
+	Covered  uint64 `json:"covered"`
+	Overlap  uint64 `json:"overlap"`
+	Omission uint64 `json:"omission"`
+	// ImbalancePct is the max deviation of a shard's target count from
+	// the even split, in percent.
+	ImbalancePct float64  `json:"imbalance_pct"`
+	ShardSizes   []uint64 `json:"shard_sizes"`
+}
+
+type shardSweep struct {
+	Shards    int    `json:"shards"`
+	Devices   int    `json:"devices"`
+	Harvested int    `json:"harvested"`
+	Duplicate int    `json:"duplicate_devices"`
+	Probes    uint64 `json:"probes"`
+}
+
+type report struct {
+	Space      uint64 `json:"space"`
+	Devices    int    `json:"devices"`
+	Workers    int    `json:"workers"`
+	Runs       int    `json:"runs"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	ProbesPerSec int64   `json:"probes_per_sec"`
+	BestSeconds  float64 `json:"best_seconds"`
+	Hits         uint64  `json:"hits"`
+
+	Audit shardAudit `json:"shard_audit"`
+	Sweep shardSweep `json:"shard_sweep"`
+}
+
+func main() {
+	var (
+		space   = flag.Uint64("space", 1<<21, "address-space size for the timed sweep")
+		devs    = flag.Int("devices", 256, "devices in the simulated fleet")
+		seed    = flag.Int64("seed", 2016, "permutation and fleet seed")
+		workers = flag.Int("workers", 0, "probe workers (0 = GOMAXPROCS)")
+		runs    = flag.Int("runs", 2, "timed sweeps (best is reported)")
+		jsonOut = flag.String("json", "", "write the JSON report to this file (default stdout)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "scanbench:", err)
+		os.Exit(1)
+	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	out := report{
+		Space:      *space,
+		Devices:    *devs,
+		Workers:    w,
+		Runs:       *runs,
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	logf("building fleet: %d devices over %d addresses...", *devs, *space)
+	fleet, err := zscan.NewSimFleet(zscan.FleetOptions{
+		Space: *space, Devices: *devs, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Throughput: unpaced full-space sweeps, best of -runs.
+	var best time.Duration
+	for r := 0; r < *runs; r++ {
+		eng, err := zscan.New(zscan.Options{
+			Space: *space, Seed: *seed, Workers: w,
+			Prober: fleet, Store: scanstore.New(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := eng.Run(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Probes != *space {
+			fatal(fmt.Errorf("sweep probed %d of %d addresses", rep.Probes, *space))
+		}
+		out.Hits = rep.Hits
+		if best == 0 || rep.Elapsed < best {
+			best = rep.Elapsed
+		}
+		logf("run %d: %d probes in %v (%.0f probes/sec, %d hits)",
+			r+1, rep.Probes, rep.Elapsed.Round(time.Millisecond), rep.ProbesPerSec, rep.Hits)
+	}
+	out.BestSeconds = best.Seconds()
+	out.ProbesPerSec = int64(float64(*space) / best.Seconds())
+
+	// Shard audit: exact per-index visit accounting over a 2-shard walk.
+	logf("auditing 2-shard coverage over %d addresses...", *space)
+	out.Audit = auditShards(*space, *seed, 2, fatal)
+
+	// Shard sweep: the same partition exercised through full engines
+	// running concurrently, harvest-level.
+	logf("running 2 concurrent shard engines...")
+	out.Sweep = sweepShards(fleet, *space, *seed, 2, w, fatal)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+	logf("best sweep %.2fs -> %d probes/sec; audit: %d covered, %d overlap, %d omitted",
+		out.BestSeconds, out.ProbesPerSec, out.Audit.Covered, out.Audit.Overlap, out.Audit.Omission)
+}
+
+// auditShards walks every shard of a fresh cycle and counts visits per
+// index — exact coverage proof, one byte per address.
+func auditShards(space uint64, seed int64, shards int, fatal func(error)) shardAudit {
+	cyc, err := zscan.NewCycle(space, seed)
+	if err != nil {
+		fatal(err)
+	}
+	counts := make([]uint8, space)
+	audit := shardAudit{Shards: shards, Space: space}
+	for s := 0; s < shards; s++ {
+		walk, err := cyc.Shard(s, shards)
+		if err != nil {
+			fatal(err)
+		}
+		var n uint64
+		for {
+			idx, ok := walk.Next()
+			if !ok {
+				break
+			}
+			if counts[idx] < 255 {
+				counts[idx]++
+			}
+			n++
+		}
+		audit.ShardSizes = append(audit.ShardSizes, n)
+	}
+	for _, c := range counts {
+		switch {
+		case c == 0:
+			audit.Omission++
+		case c == 1:
+			audit.Covered++
+		default:
+			audit.Covered++
+			audit.Overlap += uint64(c - 1)
+		}
+	}
+	even := float64(space) / float64(shards)
+	for _, n := range audit.ShardSizes {
+		dev := 100 * (float64(n) - even) / even
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > audit.ImbalancePct {
+			audit.ImbalancePct = dev
+		}
+	}
+	return audit
+}
+
+// sweepShards runs one engine per shard concurrently against a shared
+// fleet and checks the harvested devices partition it.
+func sweepShards(fleet *zscan.SimFleet, space uint64, seed int64, shards, workers int, fatal func(error)) shardSweep {
+	stores := make([]*scanstore.Store, shards)
+	reports := make([]zscan.Report, shards)
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		stores[s] = scanstore.New()
+		eng, err := zscan.New(zscan.Options{
+			Space: space, Seed: seed, Shard: s, Shards: shards,
+			Workers: workers, Prober: fleet, Store: stores[s],
+		})
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func(s int, eng *zscan.Engine) {
+			defer wg.Done()
+			reports[s], errs[s] = eng.Run(context.Background())
+		}(s, eng)
+	}
+	wg.Wait()
+	sweep := shardSweep{Shards: shards, Devices: fleet.DeviceCount()}
+	var ips []string
+	for s := 0; s < shards; s++ {
+		if errs[s] != nil {
+			fatal(errs[s])
+		}
+		sweep.Probes += reports[s].Probes
+		for _, r := range stores[s].Records() {
+			ips = append(ips, r.IP)
+		}
+	}
+	sweep.Harvested = len(ips)
+	sort.Strings(ips)
+	for i := 1; i < len(ips); i++ {
+		if ips[i] == ips[i-1] {
+			sweep.Duplicate++
+		}
+	}
+	return sweep
+}

@@ -172,28 +172,33 @@ type Result struct {
 	Err       error
 }
 
-// Scan fetches certificates from every target concurrently. Results are
-// returned in target order. The context cancels outstanding dials. An
-// error is returned only for invalid Options; per-target failures are
-// reported in the corresponding Result.
-func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error) {
+// Stream fetches certificates from every target concurrently and hands
+// each Result to emit as it completes. Calls to emit are serialized
+// (never concurrent) but arrive in completion order, not target order;
+// index is the target's position in targets. Unlike Scan, Stream's
+// working memory is O(Workers) — the shape a standing scan over a large
+// target list needs. The context cancels outstanding dials; targets
+// never dispatched are emitted with the context's error. An error is
+// returned only for invalid Options.
+func Stream(ctx context.Context, targets []string, opts Options, emit func(index int, r Result)) error {
 	o, err := opts.withDefaults()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	results := make([]Result, len(targets))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var progressMu sync.Mutex
+	var emitMu sync.Mutex
 	done := 0
-	finish := func() {
-		if o.Progress == nil {
-			return
+	deliver := func(i int, r Result) {
+		emitMu.Lock()
+		if emit != nil {
+			emit(i, r)
 		}
-		progressMu.Lock()
 		done++
-		o.Progress(done, len(targets))
-		progressMu.Unlock()
+		if o.Progress != nil {
+			o.Progress(done, len(targets))
+		}
+		emitMu.Unlock()
 	}
 	ins := o.instruments()
 	budgetSize := int64(o.RetryBudget)
@@ -210,8 +215,7 @@ func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = scanOne(ctx, targets[i], o, ins, budget, jitter)
-				finish()
+				deliver(i, scanOne(ctx, targets[i], o, ins, budget, jitter))
 			}
 		}()
 	}
@@ -228,7 +232,7 @@ dispatch:
 			case <-pace:
 			case <-ctx.Done():
 				for j := i; j < len(targets); j++ {
-					results[j] = Result{Addr: targets[j], Err: ctx.Err()}
+					deliver(j, Result{Addr: targets[j], Err: ctx.Err()})
 				}
 				break dispatch
 			}
@@ -237,13 +241,28 @@ dispatch:
 		case jobs <- i:
 		case <-ctx.Done():
 			for j := i; j < len(targets); j++ {
-				results[j] = Result{Addr: targets[j], Err: ctx.Err()}
+				deliver(j, Result{Addr: targets[j], Err: ctx.Err()})
 			}
 			break dispatch
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	return nil
+}
+
+// Scan fetches certificates from every target concurrently. Results are
+// returned in target order. The context cancels outstanding dials. An
+// error is returned only for invalid Options; per-target failures are
+// reported in the corresponding Result. It is a slice-accumulating
+// wrapper over Stream — callers that don't need the whole result set in
+// memory should use Stream directly.
+func Scan(ctx context.Context, targets []string, opts Options) ([]Result, error) {
+	results := make([]Result, len(targets))
+	err := Stream(ctx, targets, opts, func(i int, r Result) { results[i] = r })
+	if err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
@@ -371,50 +390,83 @@ type HarvestSummary struct {
 	StoreErrors int
 }
 
+// HarvestStream scans targets and stores each successful observation
+// as it completes, under the given scan date and source — the streaming
+// harvest: memory stays O(Workers) regardless of target count. tee,
+// when non-nil, additionally receives every Result (serialized,
+// completion order). Individual store failures do not abort the
+// harvest: the remaining observations still land, the failures are
+// counted in the summary and joined into the returned error — one bad
+// record must not discard the rest of a month's harvest.
+func HarvestStream(ctx context.Context, store *scanstore.Store, date time.Time, src scanstore.Source, targets []string, opts Options, tee func(index int, r Result)) (HarvestSummary, error) {
+	var sum HarvestSummary
+	var storeErrs []error
+	err := Stream(ctx, targets, opts, func(i int, r Result) {
+		if tee != nil {
+			tee(i, r)
+		}
+		if err := storeOne(store, date, src, r, &sum); err != nil {
+			storeErrs = append(storeErrs, err)
+		}
+	})
+	if err != nil {
+		return HarvestSummary{}, err
+	}
+	return sum, errors.Join(storeErrs...)
+}
+
 // Harvest scans targets and stores every successful observation under
 // the given scan date and source. It returns the per-target results and
-// a summary. Individual store failures do not abort the harvest: the
-// remaining observations still land, the failures are counted in the
-// summary and joined into the returned error — one bad record must not
-// discard the rest of a month's harvest.
+// a summary; it is the slice-accumulating wrapper over HarvestStream.
 func Harvest(ctx context.Context, store *scanstore.Store, date time.Time, src scanstore.Source, targets []string, opts Options) ([]Result, HarvestSummary, error) {
-	results, err := Scan(ctx, targets, opts)
-	if err != nil {
+	if _, err := opts.withDefaults(); err != nil {
 		return nil, HarvestSummary{}, err
 	}
-	sum, err := storeResults(store, date, src, results)
+	results := make([]Result, len(targets))
+	sum, err := HarvestStream(ctx, store, date, src, targets, opts,
+		func(i int, r Result) { results[i] = r })
 	return results, sum, err
 }
 
-// storeResults persists the successful results and accumulates the
-// summary; per-observation store errors are aggregated, not fatal.
+// storeOne persists one successful result into the store and updates
+// the summary; the returned error (nil for transient/empty results) is
+// the per-observation store failure, which callers aggregate.
+func storeOne(store *scanstore.Store, date time.Time, src scanstore.Source, r Result, sum *HarvestSummary) error {
+	if r.Err != nil {
+		if r.Transient {
+			sum.Retryable = append(sum.Retryable, r.Addr)
+		}
+		return nil
+	}
+	if r.Cert == nil {
+		return nil
+	}
+	host, _, err := net.SplitHostPort(r.Addr)
+	if err != nil {
+		host = r.Addr
+	}
+	err = store.Add(scanstore.Observation{
+		IP: host, Date: date, Source: src, Protocol: scanstore.HTTPS,
+		Cert: r.Cert, RSAOnly: devices.RSAOnly(r.Suites),
+	})
+	if err != nil {
+		sum.StoreErrors++
+		return fmt.Errorf("scanner: store %s: %w", r.Addr, err)
+	}
+	sum.Stored++
+	return nil
+}
+
+// storeResults persists a completed result slice (the non-streaming
+// path kept for batch callers and tests); per-observation store errors
+// are aggregated, not fatal.
 func storeResults(store *scanstore.Store, date time.Time, src scanstore.Source, results []Result) (HarvestSummary, error) {
 	var sum HarvestSummary
 	var storeErrs []error
 	for _, r := range results {
-		if r.Err != nil {
-			if r.Transient {
-				sum.Retryable = append(sum.Retryable, r.Addr)
-			}
-			continue
+		if err := storeOne(store, date, src, r, &sum); err != nil {
+			storeErrs = append(storeErrs, err)
 		}
-		if r.Cert == nil {
-			continue
-		}
-		host, _, err := net.SplitHostPort(r.Addr)
-		if err != nil {
-			host = r.Addr
-		}
-		err = store.Add(scanstore.Observation{
-			IP: host, Date: date, Source: src, Protocol: scanstore.HTTPS,
-			Cert: r.Cert, RSAOnly: devices.RSAOnly(r.Suites),
-		})
-		if err != nil {
-			sum.StoreErrors++
-			storeErrs = append(storeErrs, fmt.Errorf("scanner: store %s: %w", r.Addr, err))
-			continue
-		}
-		sum.Stored++
 	}
 	return sum, errors.Join(storeErrs...)
 }

@@ -1,0 +1,73 @@
+package zscan
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPacerNilIsUnpaced(t *testing.T) {
+	var p *pacer
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if !p.wait(context.Background()) {
+			t.Fatal("nil pacer refused a token")
+		}
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("nil pacer slept")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if p.wait(ctx) {
+		t.Error("nil pacer must observe cancellation")
+	}
+}
+
+func TestPacerEnforcesRate(t *testing.T) {
+	p := newPacer(1000, 1)
+	start := time.Now()
+	for i := 0; i < 300; i++ {
+		if !p.wait(context.Background()) {
+			t.Fatal("pacer refused a token")
+		}
+	}
+	elapsed := time.Since(start)
+	// 300 tokens at 1000/s is ~300ms; allow wide slack downward for the
+	// initial bucket but catch an unpaced sprint.
+	if elapsed < 200*time.Millisecond {
+		t.Errorf("300 tokens at 1000/s took %v, want >= 200ms", elapsed)
+	}
+}
+
+func TestPacerBurstAllowsCatchUp(t *testing.T) {
+	// A bucket with capacity should hand out accumulated allowance
+	// without sleeping once per token.
+	p := newPacer(100000, 1000)
+	time.Sleep(20 * time.Millisecond) // accrue ~2000 tokens, capped at 1000
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if !p.wait(context.Background()) {
+			t.Fatal("pacer refused a token")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("draining the burst allowance took %v", elapsed)
+	}
+}
+
+func TestPacerCancel(t *testing.T) {
+	p := newPacer(1, 1)
+	if !p.wait(context.Background()) {
+		t.Fatal("first token must be available")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if p.wait(ctx) {
+		t.Fatal("canceled wait must report false")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("cancel did not interrupt the wait promptly")
+	}
+}

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Scan-engine benchmark: scanbench sweeps a simulated fleet unpaced and
+# audits the permutation's sharding guarantees, writing BENCH_scan.json.
+# Floors:
+#   - throughput: >= 50000 probes/sec single-process (the engine's own
+#     overhead — permutation stepping, window accounting, harvest
+#     dispatch — must never be the bottleneck of a paced scan);
+#   - shard audit: a 2-shard walk of the full space must show zero
+#     overlap and zero omission, exactly;
+#   - shard sweep: two concurrent shard engines must harvest every
+#     fleet device exactly once between them.
+set -eu
+
+SPACE="${BENCH_SPACE:-2097152}"
+DEVICES="${BENCH_DEVICES:-256}"
+RUNS="${BENCH_RUNS:-2}"
+OUT="${BENCH_OUT:-BENCH_scan.json}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/scanbench" ./cmd/scanbench
+
+"$TMP/scanbench" -space "$SPACE" -devices "$DEVICES" -runs "$RUNS" -json "$OUT"
+
+RATE="$(sed -n 's/.*"probes_per_sec": \([0-9]*\).*/\1/p' "$OUT")"
+COVERED="$(sed -n 's/.*"covered": \([0-9]*\).*/\1/p' "$OUT")"
+OVERLAP="$(sed -n 's/.*"overlap": \([0-9]*\).*/\1/p' "$OUT")"
+OMISSION="$(sed -n 's/.*"omission": \([0-9]*\).*/\1/p' "$OUT")"
+HARVESTED="$(sed -n 's/.*"harvested": \([0-9]*\).*/\1/p' "$OUT")"
+DUPES="$(sed -n 's/.*"duplicate_devices": \([0-9]*\).*/\1/p' "$OUT")"
+
+[ -n "$RATE" ] && [ -n "$COVERED" ] && [ -n "$OVERLAP" ] && [ -n "$OMISSION" ] \
+    && [ -n "$HARVESTED" ] && [ -n "$DUPES" ] || {
+	echo "bench-scan: missing fields in $OUT" >&2
+	cat "$OUT" >&2
+	exit 1
+}
+
+[ "$RATE" -ge 50000 ] || {
+	echo "bench-scan: $RATE probes/sec below the 50000 floor" >&2
+	cat "$OUT" >&2
+	exit 1
+}
+
+[ "$COVERED" -eq "$SPACE" ] && [ "$OVERLAP" -eq 0 ] && [ "$OMISSION" -eq 0 ] || {
+	echo "bench-scan: shard audit covered=$COVERED overlap=$OVERLAP omission=$OMISSION over $SPACE addresses — partition broken" >&2
+	cat "$OUT" >&2
+	exit 1
+}
+
+[ "$HARVESTED" -eq "$DEVICES" ] && [ "$DUPES" -eq 0 ] || {
+	echo "bench-scan: shard sweep harvested $HARVESTED of $DEVICES devices with $DUPES duplicates" >&2
+	cat "$OUT" >&2
+	exit 1
+}
+
+echo "scan bench ok ($RATE probes/sec; 2-shard audit exact over $SPACE addresses -> $OUT)"

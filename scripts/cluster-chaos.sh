@@ -13,10 +13,12 @@ trap 'for P in $PIDS; do kill "$P" 2>/dev/null || true; done; rm -rf "$TMP"' EXI
 go build -o "$TMP/keyserverd" ./cmd/keyserverd
 go build -o "$TMP/keyrouter" ./cmd/keyrouter
 go build -o "$TMP/keyload" ./cmd/keyload
+go build -o "$TMP/freeport" ./cmd/freeport
 
-BASE=$((24000 + ($$ % 1900)))
-R1="127.0.0.1:$BASE"; R2="127.0.0.1:$((BASE + 1))"; R3="127.0.0.1:$((BASE + 2))"
-ROUTER="127.0.0.1:$((BASE + 3))"
+# The peer list is fixed up front, so reserve free ports first.
+set -- $("$TMP/freeport" 4)
+R1="127.0.0.1:$1"; R2="127.0.0.1:$2"; R3="127.0.0.1:$3"
+ROUTER="127.0.0.1:$4"
 PEERS="$R1,$R2,$R3"
 
 I=0
@@ -68,7 +70,7 @@ ERRORS="$(sed -n 's/.*"errors": \([0-9]*\).*/\1/p' "$TMP/chaos.json")"
 # victim and /cluster/status carrying exactly one unhealthy replica.
 # (Whether a forward retry fired is placement-dependent — the victim is
 # only hit if it is a preferred owner for the exercised shards, which
-# varies with the PID-derived ports — so retries are pinned by the
+# varies with the freeport-chosen ports — so retries are pinned by the
 # deterministic router tests, not asserted here.)
 [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ROUTER/readyz")" = "200" ] \
     || { echo "cluster-chaos: router not ready after the kill" >&2; exit 1; }

@@ -14,12 +14,13 @@ trap 'for P in $PIDS; do kill "$P" 2>/dev/null || true; done; rm -rf "$TMP"' EXI
 
 go build -o "$TMP/keyserverd" ./cmd/keyserverd
 go build -o "$TMP/keyrouter" ./cmd/keyrouter
+go build -o "$TMP/freeport" ./cmd/freeport
 
-# Cluster mode needs the peer list up front, so ports are fixed, derived
-# from the PID to dodge collisions between concurrent runs.
-BASE=$((21000 + ($$ % 1900)))
-R1="127.0.0.1:$BASE"; R2="127.0.0.1:$((BASE + 1))"; R3="127.0.0.1:$((BASE + 2))"
-ROUTER="127.0.0.1:$((BASE + 3))"
+# Cluster mode needs the peer list up front, so the ports must be known
+# before any server binds; freeport reserves four genuinely free ones.
+set -- $("$TMP/freeport" 4)
+R1="127.0.0.1:$1"; R2="127.0.0.1:$2"; R3="127.0.0.1:$3"
+ROUTER="127.0.0.1:$4"
 PEERS="$R1,$R2,$R3"
 
 I=0

@@ -1,0 +1,88 @@
+#!/bin/sh
+# Scan-engine smoke test: zscand sweeps a faulty simulated fleet in
+# permutation order and feeds everything it harvests into a live
+# keyserverd. The end-to-end claim under test: a weak fleet modulus the
+# server has never seen flips from clean/unknown to factored purely
+# through the scan -> delta checkpoint -> continuous-ingest path, with
+# no keyserverd restart. Chaos (-chaos-every 2) faults every device on
+# cycle 1 so the ZMap loss model — recover by re-sweeping, never retry
+# in place — is what actually delivers the harvest.
+set -eu
+
+TMP="$(mktemp -d)"
+trap 'kill "$KS_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/keyserverd" ./cmd/keyserverd
+go build -o "$TMP/zscand" ./cmd/zscand
+
+# -listen :0 picks a free port; the address is parsed from the startup
+# log. The server's simulated corpus uses 128-bit keys, disjoint from
+# the 256-bit fleet keys the scan will harvest.
+"$TMP/keyserverd" -scale 0.05 -bits 128 -subsets 3 -listen 127.0.0.1:0 \
+    >"$TMP/ks.out" 2>"$TMP/ks.err" &
+KS_PID=$!
+
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR="$(sed -n 's#.*keycheck API on http://\([^/]*\)/v1/check.*#\1#p' "$TMP/ks.err" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$KS_PID" 2>/dev/null || { echo "scan-smoke: keyserverd exited before serving" >&2; cat "$TMP/ks.err" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "scan-smoke: never saw the API address" >&2; cat "$TMP/ks.err" >&2; exit 1; }
+
+# The fleet plan is deterministic in its seed, so a -dry-run names the
+# weak moduli the scan is about to discover — known answers for the
+# verdict-flip check below.
+FLEET="-space 65536 -devices 48 -vulnerable 0.5 -bits 256 -fleet-seed 2016"
+"$TMP/zscand" $FLEET -dry-run -json "$TMP/plan.json" -q
+EXEMPLAR="$(sed -n '/"weak_exemplars"/,/\]/p' "$TMP/plan.json" \
+    | sed -n 's/^[[:space:]]*"\([0-9a-f]*\)".*/\1/p' | head -1)"
+[ -n "$EXEMPLAR" ] || { echo "scan-smoke: no weak exemplar in the fleet plan" >&2; cat "$TMP/plan.json" >&2; exit 1; }
+
+# Before the scan the server must know nothing about the fleet.
+curl -sf -X POST -d "{\"modulus_hex\":\"$EXEMPLAR\"}" "http://$ADDR/v1/check" >"$TMP/pre"
+grep -q '"status":"clean"' "$TMP/pre" && grep -q '"known":false' "$TMP/pre" \
+    || { echo "scan-smoke: fleet exemplar already known before the scan" >&2; cat "$TMP/pre" >&2; exit 1; }
+
+# Sweep the fleet: 2 cycles so the chaos faults of cycle 1 (every
+# device resets its first connection) are recovered by cycle 2's
+# re-sweep, delta checkpoints every 8 observations, harvested moduli
+# bridged straight into the live server's /v1/ingest.
+"$TMP/zscand" $FLEET -seed 1 -cycles 2 -chaos-every 2 \
+    -checkpoint-dir "$TMP/ckpt" -checkpoint-every 8 \
+    -ingest-url "http://$ADDR/v1/ingest" \
+    -json "$TMP/scan.json" >"$TMP/scan.log" 2>&1 \
+    || { echo "scan-smoke: zscand failed" >&2; cat "$TMP/scan.log" >&2; exit 1; }
+
+# The harvest must be complete despite the chaos: 48 devices stored.
+grep -q '"stored": 48' "$TMP/scan.json" \
+    || { echo "scan-smoke: incomplete harvest" >&2; cat "$TMP/scan.json" >&2; exit 1; }
+grep -q '"novel_moduli": 48' "$TMP/scan.json" \
+    || { echo "scan-smoke: wrong novel-moduli count" >&2; cat "$TMP/scan.json" >&2; exit 1; }
+
+# Delta checkpoints were written (48 stored at every-8 -> 6 segments).
+N_DELTA="$(ls "$TMP/ckpt"/zscan-*.delta 2>/dev/null | wc -l)"
+[ "$N_DELTA" -ge 6 ] \
+    || { echo "scan-smoke: only $N_DELTA delta checkpoints, want >= 6" >&2; ls -l "$TMP/ckpt" >&2; exit 1; }
+
+# The bridge must have delivered everything it was offered — no drops.
+grep -q '"dropped": 0' "$TMP/scan.json" \
+    || { echo "scan-smoke: ingest bridge dropped moduli" >&2; cat "$TMP/scan.json" >&2; exit 1; }
+grep -q '"delivered": 48' "$TMP/scan.json" \
+    || { echo "scan-smoke: ingest bridge did not deliver all 48 moduli" >&2; cat "$TMP/scan.json" >&2; exit 1; }
+
+# The payoff: the same modulus now comes back factored, with factors,
+# from the same keyserverd process — no restart, no reload.
+kill -0 "$KS_PID" 2>/dev/null \
+    || { echo "scan-smoke: keyserverd died during the scan" >&2; cat "$TMP/ks.err" >&2; exit 1; }
+curl -sf -X POST -d "{\"modulus_hex\":\"$EXEMPLAR\"}" "http://$ADDR/v1/check" >"$TMP/post"
+grep -q '"status":"factored"' "$TMP/post" && grep -q '"factor_p_hex"' "$TMP/post" \
+    || { echo "scan-smoke: scanned weak key not factored after ingest" >&2; cat "$TMP/post" >&2; exit 1; }
+
+# Server-side accounting agrees: the ingest endpoint factored keys.
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics"
+grep -q 'keycheck_ingest_total{outcome="ok"}' "$TMP/metrics" \
+    || { echo "scan-smoke: server recorded no successful ingest" >&2; exit 1; }
+
+echo "scan-smoke ok (chaos sweep -> $N_DELTA delta checkpoints -> ingest flipped a live verdict at $ADDR)"
