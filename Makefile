@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos scan-smoke bench-telemetry bench-keyserver bench-ingest bench-gcd bench-cluster bench-scan
+.PHONY: ci build vet test race bench bench-pipeline smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos scan-smoke anomaly-smoke bench-telemetry bench-keyserver bench-ingest bench-gcd bench-cluster bench-scan bench-anomaly
 
 # ci is the full gate: compile everything, vet, run the test suite under
 # the race detector (which includes every fault-injection test), smoke-
 # test the live telemetry path, the seeded-chaos recovery path, the
 # online key-check service, the replicated cluster (routing, sync and a
-# replica-kill failover) and the scan->ingest pipeline end to end, guard
-# the instrumentation hot-path cost, and hold the batch-GCD kernel and
-# the scan engine to their throughput and exactness floors.
-ci: build vet race smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos scan-smoke bench-telemetry bench-gcd bench-scan
+# replica-kill failover), the scan->ingest pipeline and the anomalous-
+# key verdict classes end to end, guard the instrumentation hot-path
+# cost, and hold the batch-GCD kernel, the scan engine and the anomaly
+# probes to their throughput and exactness floors.
+ci: build vet race smoke chaos-smoke keyserver-smoke cluster-smoke cluster-chaos scan-smoke anomaly-smoke bench-telemetry bench-gcd bench-scan bench-anomaly
 
 build:
 	$(GO) build ./...
@@ -111,3 +112,15 @@ bench-scan:
 # for ci).
 bench-telemetry:
 	$(GO) test -run xxx -bench 'BenchmarkCounterAdd$$|BenchmarkHistogramObserve$$|BenchmarkNilCounterAdd$$|BenchmarkEventEmit$$|BenchmarkNilEventEmit$$' -benchtime 200000x ./internal/telemetry
+
+# anomaly-smoke starts keyserverd with the anomalous device cohorts and
+# asserts every beyond-GCD verdict class (shared_modulus, fermat_weak,
+# small_factor, unsafe_exponent) over the HTTP API.
+anomaly-smoke:
+	sh ./scripts/anomaly-smoke.sh
+
+# bench-anomaly sweeps the per-modulus anomaly probes over a corpus with
+# planted flaws and writes BENCH_anomaly.json, enforcing full recall,
+# zero false hits and the 100 probes/sec floor.
+bench-anomaly:
+	sh ./scripts/bench-anomaly.sh

@@ -1,0 +1,229 @@
+// Command anomalybench benchmarks the per-modulus anomaly probes — the
+// bounded trial-division + Fermat + Pollard-rho pipeline (anomaly.Probe)
+// that both the offline Anomaly stage and the online /v1/check path run
+// against novel moduli. It generates a synthetic corpus with known
+// planted flaws (close-prime pairs and small-factor moduli among safe
+// semiprimes), sweeps it on kernel engines of increasing width, and
+// writes a JSON report.
+//
+// Two properties are claimed and checked:
+//
+//   - recall: every planted close-prime modulus must come back
+//     fermat_weak and every planted small-factor modulus small_factor,
+//     with no false hits on the safe majority — at the default budgets
+//     the serving path uses;
+//   - throughput: probes/sec on the pooled engine, the number that
+//     bounds how fast the Anomaly stage covers a corpus and how much
+//     latency a probe adds to a novel /v1/check.
+//
+// scripts/bench-anomaly.sh enforces the acceptance floors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/factorable/weakkeys/internal/anomaly"
+	"github.com/factorable/weakkeys/internal/kernel"
+	"github.com/factorable/weakkeys/internal/numtheory"
+)
+
+type sweepPoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type report struct {
+	Moduli      int `json:"moduli"`
+	ModulusBits int `json:"modulus_bits"`
+	Runs        int `json:"runs"`
+	Cores       int `json:"cores"`
+	GOMAXPROCS  int `json:"gomaxprocs"`
+
+	FermatPlanted int `json:"fermat_planted"`
+	FermatFound   int `json:"fermat_found"`
+	SmallPlanted  int `json:"small_planted"`
+	SmallFound    int `json:"small_found"`
+	FalseHits     int `json:"false_hits"`
+
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	ProbesPerSec    int     `json:"probes_per_sec"`
+
+	Sweep []sweepPoint `json:"workers_sweep"`
+}
+
+func main() {
+	var (
+		nModuli = flag.Int("moduli", 5000, "corpus size in distinct moduli")
+		flawPct = flag.Float64("flawed", 0.02, "fraction of moduli planted with each flaw class")
+		seed    = flag.Int64("seed", 2016, "corpus generation seed")
+		runs    = flag.Int("runs", 2, "timed repetitions per configuration (best run is reported)")
+		jsonOut = flag.String("json", "", "write the JSON report to this file (default stdout)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "anomalybench:", err)
+		os.Exit(1)
+	}
+
+	logf("generating %d moduli (%.1f%% close-prime, %.1f%% small-factor) from seed %d...",
+		*nModuli, 100**flawPct, 100**flawPct, *seed)
+	t0 := time.Now()
+	mods, classes := generateCorpus(rand.New(rand.NewSource(*seed)), *nModuli, *flawPct)
+	logf("corpus ready in %v", time.Since(t0).Round(time.Millisecond))
+
+	cores := runtime.NumCPU()
+	out := report{
+		Moduli:      len(mods),
+		ModulusBits: mods[0].BitLen(),
+		Runs:        *runs,
+		Cores:       cores,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, c := range classes {
+		switch c {
+		case anomaly.ProbeFermatWeak:
+			out.FermatPlanted++
+		case anomaly.ProbeSmallFactor:
+			out.SmallPlanted++
+		}
+	}
+
+	// measure sweeps the default probes over the corpus on eng and
+	// returns the best wall clock over -runs repetitions plus the hit
+	// tally of the last repetition.
+	var probe anomaly.Probe // zero value: the serving-path defaults
+	measure := func(eng *kernel.Engine) (time.Duration, []anomaly.ProbeClass) {
+		best := time.Duration(0)
+		var got []anomaly.ProbeClass
+		for r := 0; r < *runs; r++ {
+			got = make([]anomaly.ProbeClass, len(mods))
+			t0 := time.Now()
+			if err := eng.Run(context.Background(), len(mods), func(i int, _ *kernel.Arena) {
+				cls, _, _ := probe.Factor(mods[i])
+				got[i] = cls
+			}); err != nil {
+				fatal(err)
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, got
+	}
+
+	var widths []int
+	for w := 1; w < cores; w *= 2 {
+		widths = append(widths, w)
+	}
+	widths = append(widths, cores)
+
+	var serial, parallel time.Duration
+	for _, w := range widths {
+		eng := kernel.New(w)
+		d, got := measure(eng)
+		eng.Close()
+		if w == 1 {
+			serial = d
+		}
+		if w == cores {
+			parallel = d
+			for i, cls := range got {
+				switch {
+				case cls == classes[i] && cls == anomaly.ProbeFermatWeak:
+					out.FermatFound++
+				case cls == classes[i] && cls == anomaly.ProbeSmallFactor:
+					out.SmallFound++
+				case cls != classes[i]:
+					out.FalseHits++
+				}
+			}
+		}
+		out.Sweep = append(out.Sweep, sweepPoint{Workers: w, Seconds: d.Seconds()})
+		logf("workers=%d: %v", w, d.Round(time.Millisecond))
+	}
+	for i := range out.Sweep {
+		out.Sweep[i].Speedup = serial.Seconds() / out.Sweep[i].Seconds
+	}
+	out.SerialSeconds = serial.Seconds()
+	out.ParallelSeconds = parallel.Seconds()
+	out.Speedup = serial.Seconds() / parallel.Seconds()
+	out.ProbesPerSec = int(float64(len(mods)) / parallel.Seconds())
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+	logf("%d probes in %v on %d cores: %d probes/sec, recall %d/%d fermat %d/%d small, %d false hits",
+		len(mods), parallel.Round(time.Millisecond), cores, out.ProbesPerSec,
+		out.FermatFound, out.FermatPlanted, out.SmallFound, out.SmallPlanted, out.FalseHits)
+}
+
+// generateCorpus returns n distinct 128-bit moduli and the probe class
+// each one should produce: a flawPct fraction are close-prime pairs
+// (consecutive primes, Fermat-factorable in a handful of steps), an
+// equal fraction carry a small prime factor, and the rest are safe
+// random semiprimes whose prime gap is astronomically unlikely to fall
+// inside any default budget.
+func generateCorpus(rng *rand.Rand, n int, flawPct float64) ([]*big.Int, []anomaly.ProbeClass) {
+	prime := func() *big.Int {
+		for {
+			p := new(big.Int).SetUint64(rng.Uint64() | 1<<63 | 1)
+			if p.ProbablyPrime(0) {
+				return p
+			}
+		}
+	}
+	smalls := numtheory.FirstPrimes(anomaly.DefaultTrialPrimes)
+	mods := make([]*big.Int, 0, n)
+	classes := make([]anomaly.ProbeClass, 0, n)
+	seen := make(map[string]bool, n)
+	for len(mods) < n {
+		var m *big.Int
+		var cls anomaly.ProbeClass
+		switch f := rng.Float64(); {
+		case f < flawPct:
+			p := prime()
+			q := numtheory.NextPrime(new(big.Int).Add(p, big.NewInt(2)))
+			m, cls = new(big.Int).Mul(p, q), anomaly.ProbeFermatWeak
+		case f < 2*flawPct:
+			s := new(big.Int).SetUint64(smalls[rng.Intn(len(smalls))])
+			m, cls = new(big.Int).Mul(s, prime()), anomaly.ProbeSmallFactor
+		default:
+			m, cls = new(big.Int).Mul(prime(), prime()), anomaly.ProbeNone
+		}
+		key := string(m.Bytes())
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		mods = append(mods, m)
+		classes = append(classes, cls)
+	}
+	return mods, classes
+}

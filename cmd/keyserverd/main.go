@@ -57,6 +57,7 @@ import (
 	"github.com/factorable/weakkeys/internal/core"
 	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/keycheck"
+	"github.com/factorable/weakkeys/internal/population"
 	"github.com/factorable/weakkeys/internal/scanstore"
 	"github.com/factorable/weakkeys/internal/telemetry"
 )
@@ -77,6 +78,7 @@ func main() {
 		burst     = flag.Int("burst", 100, "per-client rate-limit burst")
 		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		saveTo    = flag.String("save", "", "save the simulated corpus to a file (for keyload -corpus)")
+		anomFleet = flag.Bool("anomaly-fleet", false, "append the anomalous device families (close primes, small factors, e=1, fleet-shared modulus) to the simulated ecosystem (ignored with -load)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		fullHup   = flag.Bool("rebuild-full", false, "SIGHUP re-analyzes from scratch instead of ingesting the corpus delta")
 		ingestOK  = flag.Bool("allow-ingest", true, "serve POST /v1/ingest (live index updates)")
@@ -166,6 +168,11 @@ func main() {
 		} else {
 			logf("simulating study corpus (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
 			opts.Seed, opts.Scale = *seed, *scale
+			if *anomFleet {
+				// The anomalous families ride along with the paper's vendor
+				// set so the new verdict classes have live populations.
+				opts.Lines = append(population.DefaultDynamics(), population.AnomalyLines()...)
+			}
 			study, err = core.Run(ctx, opts)
 		}
 		if err != nil {

@@ -81,6 +81,7 @@ func main() {
 		figure    = flag.Int("figure", 0, "print one paper figure (1-10)")
 		all       = flag.Bool("all", false, "print every table and figure")
 		summary   = flag.Bool("summary", false, "print the headline-findings summary")
+		anomalies = flag.Bool("anomalies", false, "run the beyond-GCD anomaly pass (shared moduli, exponent census, Fermat/small-factor probes) and print its summary")
 		csvFor    = flag.String("csv", "", "emit the CSV time series for a vendor (e.g. Juniper)")
 		vendor    = flag.String("vendor", "", "print the time-series chart for one vendor")
 		sources   = flag.Bool("sources", false, "print the per-source corpus accounting")
@@ -219,6 +220,7 @@ func main() {
 			Tracer:              tracer,
 			GCDFaults:           gcdFaults,
 			GCDStragglerTimeout: *gcdStragglerTimeout,
+			Anomalies:           *anomalies,
 		})
 	} else {
 		logf("running pipeline (scale %.2f, %d-bit keys, k=%d)...", *scale, *bits, *subsets)
@@ -241,6 +243,7 @@ func main() {
 			Tracer:              tracer,
 			GCDFaults:           gcdFaults,
 			GCDStragglerTimeout: *gcdStragglerTimeout,
+			Anomalies:           *anomalies,
 		})
 	}
 	if err != nil {
@@ -322,9 +325,15 @@ func main() {
 		series.Name = *vendor + " hosts (total and vulnerable)"
 		fail(report.SeriesChart(out, series, 8))
 	default:
-		fail(study.Table(out, 1))
+		if !*anomalies {
+			fail(study.Table(out, 1))
+			fmt.Fprintln(out)
+			fail(study.Figure(out, 1))
+		}
+	}
+	if *anomalies {
 		fmt.Fprintln(out)
-		fail(study.Figure(out, 1))
+		fail(study.Anomalies(out))
 	}
 	writeTrace()
 	holdOpen()

@@ -182,6 +182,18 @@ func main() {
 	}
 
 	store := scanstore.New()
+	if *ckptDir != "" {
+		// A restart into a non-empty checkpoint dir resumes the delta
+		// chain: replay the existing segments so new ones chain onto them
+		// instead of overwriting the history.
+		segs, err := zscan.LoadCheckpoints(*ckptDir, store)
+		if err != nil {
+			fatal(err)
+		}
+		if segs > 0 {
+			logf("resumed %d checkpoint segment(s) from %s (%d records)", segs, *ckptDir, len(store.Records()))
+		}
+	}
 	eng, err := zscan.New(zscan.Options{
 		Space:           *space,
 		Shard:           shard,

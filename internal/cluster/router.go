@@ -505,7 +505,15 @@ func (rt *Router) combine(n *big.Int, home int, homeRes *checkResult, results []
 		return v.Status == keycheck.StatusFactored && out.Status != keycheck.StatusFactored
 	}
 	for _, res := range results {
-		if better(res.verdict) {
+		adopt := better(res.verdict)
+		if !adopt && res.verdict.Status == keycheck.StatusSharedModulus && out.Status == keycheck.StatusClean {
+			// A replication peer of the home shard holds the same
+			// shared-modulus graph; when the preferred owner's answer was
+			// lost, the peer's anomaly verdict still beats clean. A
+			// compromised answer from any owner continues to outrank it.
+			adopt = true
+		}
+		if adopt {
 			known := out.Known
 			out.Verdict = res.verdict
 			out.Known = known // membership stays the home owner's call
@@ -734,12 +742,20 @@ func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", keycheck.ErrMalformed, err))
 		return
 	}
-	n, err := keycheck.ParseSubmission(body)
+	n, e, err := keycheck.ParseSubmissionWithExponent(body)
 	if err != nil {
 		rt.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	rt.writeJSON(w, http.StatusOK, rt.Check(r.Context(), n))
+	out := rt.Check(r.Context(), n)
+	// The exponent fold-in mirrors the replica HTTP layer: replicas only
+	// ever see the modulus, so a routed clean verdict upgrades here when
+	// the submission carried a broken public exponent.
+	if uv := keycheck.ApplyExponent(out.Verdict, e); uv.Status != out.Status {
+		rt.metrics.Counter(`cluster_checks_total{verdict="unsafe_exponent"}`).Inc()
+		out.Verdict = uv
+	}
+	rt.writeJSON(w, http.StatusOK, out)
 }
 
 // maxRouterIngest mirrors the replica-side per-request ingest bound.

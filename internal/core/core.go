@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/anomaly"
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/distgcd"
 	"github.com/factorable/weakkeys/internal/faults"
@@ -48,6 +49,10 @@ const (
 	StageBatchGCD    = "BatchGCD"
 	StageFingerprint = "Fingerprint"
 	StageAnalyze     = "Analyze"
+	// StageAnomaly is the optional seventh stage (Options.Anomalies): the
+	// beyond-batch-GCD pass over the corpus — shared-modulus graph,
+	// exponent census, Fermat and small-factor probes.
+	StageAnomaly = "Anomaly"
 )
 
 // Options configures a study run. The zero value runs the full-scale
@@ -107,6 +112,14 @@ type Options struct {
 	// GCDMaxReassign is passed through to distgcd.Options.MaxReassign
 	// (0 = default, negative disables reassignment).
 	GCDMaxReassign int
+	// Anomalies enables the Anomaly stage: the shared-modulus graph,
+	// exponent census, and Fermat/small-factor probe sweep over the
+	// corpus, recorded on Study.Anomaly. Off by default — the probe sweep
+	// touches every distinct modulus.
+	Anomalies bool
+	// AnomalyProbe sets the per-modulus factoring budgets for the Anomaly
+	// stage (zero value: the anomaly package defaults).
+	AnomalyProbe anomaly.Probe
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +157,8 @@ type Study struct {
 	Fingerprint *fingerprint.Result
 	// Analyzer answers the longitudinal queries.
 	Analyzer *analysis.Analyzer
+	// Anomaly is the beyond-GCD pass result (Options.Anomalies only).
+	Anomaly *anomaly.Report
 	// Report is the per-stage cost profile of the run.
 	Report *pipeline.RunReport
 }
@@ -270,7 +285,7 @@ func (s *Study) analysisStages(cliqueVendors *map[string]string, extraIPKeys *[]
 	// Dedup output, consumed by BatchGCD and Fingerprint.
 	var moduli []*big.Int
 	var keys []string
-	return []pipeline.Stage{
+	stages := []pipeline.Stage{
 		{Name: StageDedup, Run: func(ctx context.Context, st *pipeline.Stats) error {
 			// The corpus ingest dedup: every distinct modulus ever
 			// observed, in first-seen order (the paper's 81M distinct
@@ -354,6 +369,25 @@ func (s *Study) analysisStages(cliqueVendors *map[string]string, extraIPKeys *[]
 			return nil
 		}},
 	}
+	if opts.Anomalies {
+		stages = append(stages, pipeline.Stage{Name: StageAnomaly, Run: func(ctx context.Context, st *pipeline.Stats) error {
+			rep, err := anomaly.Analyze(ctx, anomaly.Config{
+				Store:   s.Store,
+				Probe:   opts.AnomalyProbe,
+				Metrics: opts.Telemetry,
+				Events:  opts.Events,
+			})
+			if err != nil {
+				return fmt.Errorf("core: anomaly pass: %w", err)
+			}
+			s.Anomaly = rep
+			st.ItemsIn = int64(rep.Moduli)
+			st.ItemsOut = int64(rep.SharedCount + rep.FermatWeakCount +
+				rep.SmallFactorCount + rep.Exponents.Anomalous())
+			return nil
+		}})
+	}
+	return stages
 }
 
 const wordBytes = 32 << (^big.Word(0) >> 63) / 8 // 4 or 8

@@ -607,3 +607,63 @@ func TestSourcesAndExport(t *testing.T) {
 		t.Errorf("vendor CSV naming: %v", err)
 	}
 }
+
+// TestAnomalyStage runs a small ecosystem made only of the anomalous
+// device families and checks the optional Anomaly stage surfaces every
+// class batch GCD cannot see.
+func TestAnomalyStage(t *testing.T) {
+	s, err := Run(context.Background(), Options{
+		Seed:      11,
+		KeyBits:   128,
+		Lines:     population.AnomalyLines(),
+		Anomalies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Anomaly
+	if rep == nil {
+		t.Fatal("Options.Anomalies set but Study.Anomaly is nil")
+	}
+	if rep.FermatWeakCount == 0 {
+		t.Error("no Fermat-weak moduli found in a close-primes fleet")
+	}
+	if rep.SmallFactorCount == 0 {
+		t.Error("no small-factor moduli found in a small-factor fleet")
+	}
+	if rep.SharedCount == 0 {
+		t.Error("no shared moduli found in a shared-modulus fleet")
+	}
+	if rep.Exponents.Anomalous() == 0 {
+		t.Error("no anomalous exponents found in an e=1 fleet")
+	}
+	if sr := s.Report.Stage(StageAnomaly); sr == nil {
+		t.Error("run report missing the Anomaly stage")
+	} else if sr.Stats.ItemsOut == 0 {
+		t.Error("Anomaly stage reported zero findings")
+	}
+	var b strings.Builder
+	if err := s.Anomalies(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"shared moduli", "Fermat-factorable", "exponent census"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("anomaly summary missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestAnomalyStageGated: without Options.Anomalies the stage must not
+// run and the printer must say so.
+func TestAnomalyStageGated(t *testing.T) {
+	s := testStudy(t)
+	if s.Anomaly != nil {
+		t.Error("Study.Anomaly set without Options.Anomalies")
+	}
+	if s.Report.Stage(StageAnomaly) != nil {
+		t.Error("Anomaly stage ran without Options.Anomalies")
+	}
+	if err := s.Anomalies(new(strings.Builder)); err == nil {
+		t.Error("Anomalies() on a run without the stage should error")
+	}
+}

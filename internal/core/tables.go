@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/factorable/weakkeys/internal/analysis"
+	"github.com/factorable/weakkeys/internal/anomaly"
 	"github.com/factorable/weakkeys/internal/devices"
 	"github.com/factorable/weakkeys/internal/disclosure"
 	"github.com/factorable/weakkeys/internal/report"
@@ -293,5 +294,39 @@ func (s *Study) Summary(w io.Writer) error {
 		fmt.Fprintf(w, "Disclosure campaign %s: %d vendors notified, %d with discoverable contacts, %d responded, %d advisories, %d patches\n",
 			c[0].Campaign, st.Vendors, st.DiscoverableContact, st.Responded, st.Advisories, st.Patches)
 	}
+	return nil
+}
+
+// Anomalies prints the beyond-GCD anomaly report: the weak-key classes
+// batch GCD cannot see (shared moduli across identities, broken public
+// exponents, Fermat-factorable close primes, small prime factors).
+// The run must have been made with Options.Anomalies set.
+func (s *Study) Anomalies(w io.Writer) error {
+	rep := s.Anomaly
+	if rep == nil {
+		return fmt.Errorf("core: no anomaly report (run with Options.Anomalies)")
+	}
+	fmt.Fprintf(w, "Anomalous keys beyond batch GCD (%d distinct moduli, %d certificates, %v):\n",
+		rep.Moduli, rep.Certs, rep.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  shared moduli (>=2 identities): %d\n", rep.SharedCount)
+	for i, sm := range rep.SharedModuli {
+		if i == 3 {
+			fmt.Fprintf(w, "    ... and %d more\n", rep.SharedCount-i)
+			break
+		}
+		fmt.Fprintf(w, "    %d identities, %d hosts: %.16s...\n", sm.Count, sm.Hosts, sm.ModulusHex)
+	}
+	fmt.Fprintf(w, "  Fermat-factorable (close primes): %d\n", rep.FermatWeakCount)
+	fmt.Fprintf(w, "  small-factor moduli: %d\n", rep.SmallFactorCount)
+	fmt.Fprintf(w, "  exponent census (%d certs, %d anomalous):", rep.Exponents.Total, rep.Exponents.Anomalous())
+	for _, cls := range []anomaly.ExponentClass{
+		anomaly.ExponentOK, anomaly.ExponentSmall, anomaly.ExponentOne,
+		anomaly.ExponentEven, anomaly.ExponentOversized, anomaly.ExponentNonPositive,
+	} {
+		if n := rep.Exponents.Classes[cls]; n > 0 {
+			fmt.Fprintf(w, " %s=%d", cls, n)
+		}
+	}
+	fmt.Fprintln(w)
 	return nil
 }

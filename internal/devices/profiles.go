@@ -20,6 +20,19 @@ const (
 	// KeyClique: the IBM failure — all keys are drawn from a tiny fixed
 	// prime pool (9 primes, 36 possible keys; Section 3.3.2).
 	KeyClique
+	// KeyClosePrimes: both primes drawn from one narrow window, so the
+	// modulus falls to a short Fermat ascent — the "When RSA Fails"
+	// prime-selection flaw. Invisible to batch GCD: no prime is shared.
+	KeyClosePrimes
+	// KeySmallFactor: a broken primality test ships a tiny "prime", so
+	// trial division or Pollard rho splits the modulus immediately.
+	KeySmallFactor
+	// KeyUnsafeExponent: the modulus is honest but the firmware emits a
+	// broken public exponent (e = 1, even e, or a tiny unsafe e).
+	KeyUnsafeExponent
+	// KeySharedModulus: the entire fleet ships one keypair baked into the
+	// firmware image, so the same modulus serves every device identity.
+	KeySharedModulus
 )
 
 func (m KeyMode) String() string {
@@ -30,6 +43,14 @@ func (m KeyMode) String() string {
 		return "shared-prime"
 	case KeyClique:
 		return "clique"
+	case KeyClosePrimes:
+		return "close-primes"
+	case KeySmallFactor:
+		return "small-factor"
+	case KeyUnsafeExponent:
+		return "unsafe-exponent"
+	case KeySharedModulus:
+		return "shared-modulus"
 	default:
 		return fmt.Sprintf("KeyMode(%d)", int(m))
 	}

@@ -2,6 +2,7 @@ package keycheck
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/factorable/weakkeys/internal/certs"
 	"github.com/factorable/weakkeys/internal/scanstore"
 	"github.com/factorable/weakkeys/internal/telemetry"
 )
@@ -32,6 +34,11 @@ type checkRequest struct {
 	CertPEM string `json:"cert_pem,omitempty"`
 	// CertDER is a DER certificate (base64-encoded by JSON).
 	CertDER []byte `json:"cert_der,omitempty"`
+	// ExponentHex optionally carries the public exponent alongside
+	// modulus_hex, so the exponent-anomaly check (e = 1, even e, ...)
+	// covers bare-modulus submissions too. Certificate submissions carry
+	// their exponent already and ignore this field.
+	ExponentHex string `json:"exponent_hex,omitempty"`
 }
 
 type errorResponse struct {
@@ -58,6 +65,9 @@ type statsResponse struct {
 type exemplarsResponse struct {
 	Factored []string `json:"factored"`
 	Clean    []string `json:"clean"`
+	// Shared lists member moduli the corpus observed under two or more
+	// distinct identities (shared_modulus exemplars).
+	Shared []string `json:"shared,omitempty"`
 }
 
 // API serves the key-check HTTP endpoints for one Service.
@@ -169,7 +179,7 @@ func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
 		a.writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrMalformed, err))
 		return
 	}
-	n, err := parseSubmission(body)
+	n, e, err := parseSubmission(body)
 	if err != nil {
 		a.writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -184,6 +194,13 @@ func (a *API) handleCheck(w http.ResponseWriter, r *http.Request) {
 			a.writeError(w, r, http.StatusInternalServerError, err)
 		}
 		return
+	}
+	// The exponent fold-in happens after the service (and its cache):
+	// cached verdicts are exponent-free and keyed by modulus alone, and
+	// the same modulus under different exponents reuses one cache entry.
+	if uv := ApplyExponent(v, e); uv.Status != v.Status {
+		a.svc.verdicts[StatusUnsafeExponent].Inc()
+		v = uv
 	}
 	a.writeJSON(w, http.StatusOK, v)
 }
@@ -260,27 +277,101 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 // (modulus_hex / cert_pem / cert_der) or a raw PEM — into a validated
 // modulus. Exported so the cluster router can resolve a submission's
 // home shard before forwarding it.
-func ParseSubmission(body []byte) (*big.Int, error) { return parseSubmission(body) }
+func ParseSubmission(body []byte) (*big.Int, error) {
+	n, _, err := parseSubmission(body)
+	return n, err
+}
+
+// ParseSubmissionWithExponent is ParseSubmission plus the submission's
+// public exponent when one is available — from the certificate, or from
+// the envelope's exponent_hex next to modulus_hex. A nil exponent with
+// a nil error means the submission carried none (bare modulus).
+func ParseSubmissionWithExponent(body []byte) (n, e *big.Int, err error) {
+	return parseSubmission(body)
+}
 
 // parseSubmission accepts the JSON envelope or a raw PEM body.
-func parseSubmission(body []byte) (*big.Int, error) {
+func parseSubmission(body []byte) (n, e *big.Int, err error) {
 	trimmed := bytes.TrimSpace(body)
 	if bytes.HasPrefix(trimmed, []byte("-----BEGIN")) {
-		return ParseCertPEM(trimmed)
+		return parsePEMWithExponent(trimmed)
 	}
 	var req checkRequest
 	if err := json.Unmarshal(trimmed, &req); err != nil {
-		return nil, fmt.Errorf("%w: body is neither JSON nor PEM: %v", ErrMalformed, err)
+		return nil, nil, fmt.Errorf("%w: body is neither JSON nor PEM: %v", ErrMalformed, err)
 	}
 	switch {
 	case req.ModulusHex != "":
-		return ParseModulusHex(req.ModulusHex)
+		n, err = ParseModulusHex(req.ModulusHex)
+		if err != nil {
+			return nil, nil, err
+		}
+		if req.ExponentHex != "" {
+			if e, err = parseExponentHex(req.ExponentHex); err != nil {
+				return nil, nil, err
+			}
+		}
+		return n, e, nil
 	case req.CertPEM != "":
-		return ParseCertPEM([]byte(req.CertPEM))
+		return parsePEMWithExponent([]byte(req.CertPEM))
 	case len(req.CertDER) > 0:
-		return ParseCertDER(req.CertDER)
+		c, err := certs.Parse(req.CertDER)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: cert_der: %v", ErrMalformed, err)
+		}
+		if n, err = validateModulus(c.N); err != nil {
+			return nil, nil, err
+		}
+		return n, big.NewInt(int64(c.E)), nil
 	}
-	return nil, fmt.Errorf("%w: set one of modulus_hex, cert_pem, cert_der", ErrMalformed)
+	return nil, nil, fmt.Errorf("%w: set one of modulus_hex, cert_pem, cert_der", ErrMalformed)
+}
+
+// parsePEMWithExponent mirrors ParseCertPEM but keeps the certificate's
+// exponent; bare RSA MODULUS blocks carry none.
+func parsePEMWithExponent(data []byte) (*big.Int, *big.Int, error) {
+	if c, err := certs.ParsePEM(data); err == nil {
+		n, err := validateModulus(c.N)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, big.NewInt(int64(c.E)), nil
+	}
+	mods, err := certs.ParseModulusPEMs(data)
+	if err != nil || len(mods) == 0 {
+		return nil, nil, fmt.Errorf("%w: no certificate or modulus PEM block", ErrMalformed)
+	}
+	n, err := validateModulus(mods[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, nil, nil
+}
+
+// maxExponentHexDigits bounds exponent_hex; anything wider than the
+// modulus bound is garbage and classifies as oversized long before
+// this, so the cap only guards against megabyte bodies.
+const maxExponentHexDigits = MaxModulusBits / 4
+
+// parseExponentHex parses exponent_hex. Unlike the modulus, tiny, even
+// and zero values are accepted — classifying broken exponents is the
+// point of carrying it.
+func parseExponentHex(s string) (*big.Int, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "0x"))
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty exponent_hex", ErrMalformed)
+	}
+	if len(s) > maxExponentHexDigits {
+		return nil, fmt.Errorf("%w: exponent_hex longer than %d digits", ErrMalformed, maxExponentHexDigits)
+	}
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: exponent_hex: %v", ErrMalformed, err)
+	}
+	return new(big.Int).SetBytes(raw), nil
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +396,9 @@ func (a *API) handleExemplars(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	var resp exemplarsResponse
-	resp.Factored, resp.Clean = a.svc.Index().Snapshot().Exemplars(n)
+	snap := a.svc.Index().Snapshot()
+	resp.Factored, resp.Clean = snap.Exemplars(n)
+	resp.Shared = snap.SharedExemplars(n)
 	a.writeJSON(w, http.StatusOK, resp)
 }
 

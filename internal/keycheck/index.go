@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"github.com/factorable/weakkeys/internal/anomaly"
 	"github.com/factorable/weakkeys/internal/fingerprint"
 	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/prodtree"
@@ -39,7 +40,13 @@ type shard struct {
 	// list.
 	tree   *prodtree.Tree
 	moduli int
-	// cleanSample holds a few non-factored member keys for
+	// shared maps unfactored member moduli the corpus observed under two
+	// or more distinct identities to their identity count — the
+	// shared-modulus graph projected onto this shard, minus anything
+	// batch GCD already broke (a factored verdict outranks the identity
+	// graph). Shared members answer shared_modulus instead of clean.
+	shared map[string]int
+	// cleanSample holds a few non-factored, non-shared member keys for
 	// Snapshot.Exemplars (smoke tests and load generators need known
 	// clean corpus members without shipping the whole corpus).
 	cleanSample []string
@@ -74,6 +81,12 @@ type Snapshot struct {
 	// nil own means the snapshot indexes every shard (the standalone
 	// and router-less deployments).
 	own []bool
+	// shared counts the shared-modulus members across every shard.
+	shared int
+	// probe holds the bounded factoring probes Check runs against novel
+	// moduli that the GCD path cannot break. The zero value selects the
+	// default anomaly budgets; negative budgets disable a probe.
+	probe anomaly.Probe
 }
 
 // owns reports whether the snapshot indexes shard si.
@@ -133,6 +146,9 @@ type BuildInput struct {
 	// are dropped; checks against those shards come back Partial and
 	// the router is expected to consult an owner instead.
 	OwnShards []int
+	// Probe sets the bounded factoring budgets Check applies to novel
+	// moduli (zero value: the anomaly defaults; negative fields disable).
+	Probe anomaly.Probe
 }
 
 // Build constructs a Snapshot from a completed study's corpus. The
@@ -147,7 +163,7 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 		nShards = DefaultShards
 	}
 	moduli, keys := in.Store.DistinctModuli()
-	snap := &Snapshot{shards: make([]*shard, nShards), gen: snapGen.Add(1)}
+	snap := &Snapshot{shards: make([]*shard, nShards), gen: snapGen.Add(1), probe: in.Probe}
 	if in.OwnShards != nil {
 		snap.own = make([]bool, nShards)
 		for _, si := range in.OwnShards {
@@ -165,6 +181,9 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 	if in.Fingerprint != nil {
 		factors = in.Fingerprint.Factors
 	}
+	// One bulk pass over the store projects the shared-modulus graph
+	// (same N under distinct identities) onto the shards.
+	identities := anomaly.IdentityCounts(in.Store)
 	for i, key := range keys {
 		si := shardOf(key, nShards)
 		if !snap.owns(si) {
@@ -175,8 +194,17 @@ func Build(ctx context.Context, in BuildInput) (*Snapshot, error) {
 		sh.moduli++
 		snap.moduli++
 		if f, ok := factors[key]; ok {
+			// A factored member outranks its identity graph: the shared
+			// map only tracks the unfactored shared moduli, the class
+			// batch GCD cannot see.
 			sh.factored[key] = Entry{P: f.P, Q: f.Q}
 			snap.factored++
+		} else if cnt, ok := identities[key]; ok {
+			if sh.shared == nil {
+				sh.shared = make(map[string]int)
+			}
+			sh.shared[key] = cnt
+			snap.shared++
 		} else if len(sh.cleanSample) < exemplarSample {
 			sh.cleanSample = append(sh.cleanSample, key)
 		}
@@ -318,6 +346,34 @@ func (s *Snapshot) Check(n *big.Int) Verdict {
 		g.GCD(nil, nil, g, n)
 	}
 	if g.Cmp(one) == 0 {
+		if v.Known {
+			// A member with no shared prime can still be anomalous: the
+			// same modulus observed under distinct identities at scan
+			// time. Any identity holding the private key breaks the rest.
+			if cnt, ok := homeShard.shared[key]; ok {
+				v.Status = StatusSharedModulus
+				v.SharedWith = cnt
+			}
+			return v
+		}
+		// Novel modulus the corpus cannot touch: run the bounded anomaly
+		// probes (trial division, Fermat ascent, Pollard rho). Members
+		// skip this — the offline anomaly pass already swept the corpus —
+		// and a probe hit is definitive even on a Partial replica.
+		if cls, p, q := s.probe.Factor(n); cls != anomaly.ProbeNone {
+			switch cls {
+			case anomaly.ProbeFermatWeak:
+				v.Status = StatusFermatWeak
+			case anomaly.ProbeSmallFactor:
+				v.Status = StatusSmallFactor
+			}
+			if p != nil && q != nil {
+				if new(big.Int).Mul(p, q).Cmp(n) == 0 {
+					v.FactorP, v.FactorQ = hexOf(p), hexOf(q)
+				}
+				v.Divisor = hexOf(p)
+			}
+		}
 		return v
 	}
 	v.Status = StatusSharedFactor
@@ -370,6 +426,7 @@ func (s *Snapshot) recoverDivisor(n *big.Int) *big.Int {
 type ShardStats struct {
 	Moduli      int `json:"moduli"`
 	Factored    int `json:"factored"`
+	Shared      int `json:"shared,omitempty"`
 	ProductBits int `json:"product_bits"`
 }
 
@@ -377,6 +434,9 @@ type ShardStats struct {
 type SnapshotStats struct {
 	Moduli   int `json:"moduli"`
 	Factored int `json:"factored"`
+	// Shared counts the members the corpus observed under two or more
+	// distinct identities (the shared-modulus graph).
+	Shared int `json:"shared,omitempty"`
 	// Owned lists the shards this snapshot indexes; absent when the
 	// snapshot holds the whole hash space (non-cluster deployments).
 	Owned  []int        `json:"owned_shards,omitempty"`
@@ -385,9 +445,9 @@ type SnapshotStats struct {
 
 // Stats summarizes the snapshot.
 func (s *Snapshot) Stats() SnapshotStats {
-	st := SnapshotStats{Moduli: s.moduli, Factored: s.factored, Owned: s.Owned()}
+	st := SnapshotStats{Moduli: s.moduli, Factored: s.factored, Shared: s.shared, Owned: s.Owned()}
 	for _, sh := range s.shards {
-		ss := ShardStats{Moduli: sh.moduli, Factored: len(sh.factored)}
+		ss := ShardStats{Moduli: sh.moduli, Factored: len(sh.factored), Shared: len(sh.shared)}
 		if p := sh.product(); p != nil {
 			ss.ProductBits = p.BitLen()
 		}
@@ -401,6 +461,29 @@ func (s *Snapshot) Moduli() int { return s.moduli }
 
 // Factored returns the number of factored corpus moduli indexed.
 func (s *Snapshot) Factored() int { return s.factored }
+
+// Shared returns the number of shared-modulus members indexed.
+func (s *Snapshot) Shared() int { return s.shared }
+
+// SharedExemplars returns up to n shared-modulus member keys (hex,
+// deterministic order) — known-answer inputs for smoke tests.
+func (s *Snapshot) SharedExemplars(n int) []string {
+	var keys []string
+	for _, sh := range s.shards {
+		for key := range sh.shared {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = hexOf(new(big.Int).SetBytes([]byte(k)))
+	}
+	return out
+}
 
 // Exemplars returns up to n factored and n clean corpus moduli (hex,
 // deterministic order) — known-answer inputs for smoke tests and load

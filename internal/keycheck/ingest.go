@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"time"
 
+	"github.com/factorable/weakkeys/internal/anomaly"
 	"github.com/factorable/weakkeys/internal/batchgcd"
 	"github.com/factorable/weakkeys/internal/kernel"
 	"github.com/factorable/weakkeys/internal/prodtree"
@@ -19,6 +20,7 @@ type ShardIngest struct {
 	Shard       int  `json:"shard"`
 	NewModuli   int  `json:"new_moduli"`
 	NewFactored int  `json:"new_factored"`
+	NewShared   int  `json:"new_shared,omitempty"`
 	NodesReused int  `json:"nodes_reused"`
 	NodesTotal  int  `json:"nodes_total"`
 	Shared      bool `json:"shared"`
@@ -67,6 +69,9 @@ type shardDelta struct {
 	newKeys    []string
 	newMods    []*big.Int
 	newEntries map[string]Entry
+	// newShared maps delta moduli (novel or already-member) the delta
+	// store observed under two or more identities to their count.
+	newShared map[string]int
 }
 
 func (d *shardDelta) entry(key string, e Entry) {
@@ -141,6 +146,11 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	var novelMods []*big.Int
 	var novelKeys []string
 	var foreignMods []*big.Int
+	// Delta-internal shared-modulus graph: a delta that shows one modulus
+	// under distinct identities marks it shared, whether the modulus is
+	// novel or already a member. Counts only ever grow (max-merge below):
+	// per-store counts cannot be summed without the identity sets.
+	identities := anomaly.IdentityCounts(in.Store)
 	for i, key := range keys {
 		si := shardOf(key, nShards)
 		if !s.owns(si) {
@@ -150,6 +160,17 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 			rep.Skipped++
 			foreignMods = append(foreignMods, moduli[i])
 			continue
+		}
+		if cnt, ok := identities[key]; ok && cnt > s.shards[si].shared[key] {
+			// Factored members stay out of the shared map (the verdict
+			// outranks the identity graph), so a count bump on one is
+			// not a delta.
+			if _, done := s.shards[si].factored[key]; !done {
+				if deltas[si].newShared == nil {
+					deltas[si].newShared = make(map[string]int)
+				}
+				deltas[si].newShared[key] = cnt
+			}
 		}
 		if memberSet(si)[key] {
 			rep.Duplicates++
@@ -165,7 +186,14 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	for j, n := range novelMods {
 		rep.NovelKeys[j] = hexOf(n)
 	}
-	if len(novelMods) == 0 && len(foreignMods) == 0 {
+	anyShared := false
+	for _, d := range deltas {
+		if len(d.newShared) > 0 {
+			anyShared = true
+			break
+		}
+	}
+	if len(novelMods) == 0 && len(foreignMods) == 0 && !anyShared {
 		// Nothing new: the snapshot is already the merge.
 		rep.Elapsed = time.Since(start)
 		return s, rep, nil
@@ -198,84 +226,12 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 
 	// (a) Each sweep modulus (owned and foreign alike) against every
 	// existing shard product, via one remainder tree of the delta per
-	// shard: gcd(N, P mod N) = gcd(N, P) exposes the primes N shares
-	// with the shard without ever forming P/N. Shards fan out on the
-	// shared kernel pool, like Build. Alongside, each shard scans its
-	// own leaves against the divisors it yielded to find the old members
-	// being shared with (the mates to re-label).
-	type mate struct {
-		shard   int
-		key     string
-		mod     *big.Int
-		divisor *big.Int
-	}
+	// shard — skipped entirely for shared-identity-only deltas, which
+	// carry no modulus the corpus hasn't already swept.
 	shardGCD := make([]map[int]*big.Int, nShards) // shard -> sweep idx -> gi
 	mates := make([][]mate, nShards)
-	errs := make([]error, nShards)
-	dt, err := prodtree.NewCtx(ctx, sweep)
-	if err != nil {
-		return nil, rep, fmt.Errorf("keycheck: ingest: delta tree: %w", err)
-	}
-	var treed []int // shards that actually hold a product tree
-	for si := range s.shards {
-		if s.shards[si].tree != nil {
-			treed = append(treed, si)
-		}
-	}
-	eng := kernel.FromContext(ctx)
-	runErr := eng.Run(ctx, len(treed), func(k int, a *kernel.Arena) {
-		si := treed[k]
-		sh := s.shards[si]
-		rems, err := dt.RemainderTreeCtx(ctx, sh.product())
-		if err != nil {
-			errs[si] = fmt.Errorf("keycheck: ingest shard %d: %w", si, err)
-			return
-		}
-		var gis []*big.Int
-		for j, rem := range rems {
-			n := sweep[j]
-			var gi *big.Int
-			if rem.Sign() == 0 {
-				// n divides the whole shard product: every prime of
-				// n lives in this shard.
-				gi = n
-			} else {
-				gi = new(big.Int).GCD(nil, nil, n, rem)
-				if gi.Cmp(one) <= 0 {
-					continue
-				}
-			}
-			if shardGCD[si] == nil {
-				shardGCD[si] = make(map[int]*big.Int)
-			}
-			shardGCD[si][j] = gi
-			gis = append(gis, gi)
-		}
-		if len(gis) == 0 {
-			return
-		}
-		// Mate scan: which existing members of this shard share a
-		// prime with the delta? Only shards that yielded a divisor
-		// pay for it, and only with small GCDs.
-		g := a.Get()
-		for _, leaf := range sh.tree.Leaves() {
-			for _, gi := range gis {
-				g.GCD(nil, nil, leaf, gi)
-				if g.Cmp(one) > 0 && g.Cmp(leaf) < 0 {
-					mates[si] = append(mates[si], mate{
-						shard: si, key: string(leaf.Bytes()),
-						mod: leaf, divisor: new(big.Int).Set(g),
-					})
-					break
-				}
-			}
-		}
-	})
-	if runErr != nil {
-		return nil, rep, fmt.Errorf("keycheck: ingest cancelled: %w", runErr)
-	}
-	for _, err := range errs {
-		if err != nil {
+	if len(sweep) > 0 {
+		if err := s.sweepShards(ctx, sweep, shardGCD, mates); err != nil {
 			return nil, rep, err
 		}
 	}
@@ -435,7 +391,7 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 	// would purge verdict caches for no reason.
 	changed := false
 	for _, d := range deltas {
-		if len(d.newMods) > 0 || len(d.newEntries) > 0 {
+		if len(d.newMods) > 0 || len(d.newEntries) > 0 || len(d.newShared) > 0 {
 			changed = true
 			break
 		}
@@ -455,13 +411,14 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		factored: s.factored,
 		gen:      snapGen.Add(1),
 		own:      s.own,
+		probe:    s.probe,
 	}
 	rep.Shards = make([]ShardIngest, nShards)
 	for si := range s.shards {
 		old, d := s.shards[si], deltas[si]
 		sr := &rep.Shards[si]
 		sr.Shard = si
-		if len(d.newMods) == 0 && len(d.newEntries) == 0 {
+		if len(d.newMods) == 0 && len(d.newEntries) == 0 && len(d.newShared) == 0 {
 			ns.shards[si] = old
 			sr.Shared = true
 			sr.NodesReused = old.tree.Nodes()
@@ -481,6 +438,36 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 			nsh.factored[key] = e
 		}
 		ns.factored += len(nsh.factored) - len(old.factored)
+		// The shared map tracks only unfactored members: anything this
+		// ingest factored leaves it, and shared delta keys that arrived
+		// already factored never enter.
+		droppedShared := 0
+		for key := range d.newEntries {
+			if _, ok := old.shared[key]; ok {
+				droppedShared++
+			}
+		}
+		if len(d.newShared) == 0 && droppedShared == 0 {
+			nsh.shared = old.shared
+		} else {
+			nsh.shared = make(map[string]int, len(old.shared)+len(d.newShared))
+			for key, cnt := range old.shared {
+				nsh.shared[key] = cnt
+			}
+			for key, cnt := range d.newShared {
+				if cnt > nsh.shared[key] {
+					nsh.shared[key] = cnt
+				}
+			}
+			for key := range d.newEntries {
+				delete(nsh.shared, key)
+			}
+			for key := range d.newShared {
+				if _, factored := nsh.factored[key]; factored {
+					delete(nsh.shared, key)
+				}
+			}
+		}
 		if len(d.newMods) > 0 {
 			tree, err := prodtree.ExtendCtx(ctx, old.tree, d.newMods)
 			if err != nil {
@@ -494,10 +481,12 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 			nsh.tree = old.tree
 			nsh.bloom = old.bloom
 		}
-		// A member promoted to factored must leave the clean-exemplar
-		// sample; novel clean keys top it back up.
+		// A member promoted to factored or shared must leave the
+		// clean-exemplar sample; novel clean keys top it back up.
 		for _, key := range old.cleanSample {
-			if _, now := nsh.factored[key]; !now {
+			_, nowFactored := nsh.factored[key]
+			_, nowShared := nsh.shared[key]
+			if !nowFactored && !nowShared {
 				nsh.cleanSample = append(nsh.cleanSample, key)
 			}
 		}
@@ -505,7 +494,9 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 			if len(nsh.cleanSample) >= exemplarSample {
 				break
 			}
-			if _, f := nsh.factored[key]; !f {
+			_, f := nsh.factored[key]
+			_, sh := nsh.shared[key]
+			if !f && !sh {
 				nsh.cleanSample = append(nsh.cleanSample, key)
 			}
 		}
@@ -513,6 +504,7 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		rep.TouchedShards++
 		sr.NewModuli = len(d.newMods)
 		sr.NewFactored = len(d.newEntries)
+		sr.NewShared = len(d.newShared)
 		sr.NodesTotal = nsh.tree.Nodes()
 		if nsh.tree == old.tree {
 			sr.NodesReused = sr.NodesTotal
@@ -522,8 +514,100 @@ func (s *Snapshot) Ingest(ctx context.Context, in BuildInput) (*Snapshot, Ingest
 		rep.NodesReused += sr.NodesReused
 		rep.NodesBuilt += sr.NodesTotal - sr.NodesReused
 	}
+	for _, sh := range ns.shards {
+		ns.shared += len(sh.shared)
+	}
 	rep.Elapsed = time.Since(start)
 	return ns, rep, nil
+}
+
+// mate is an existing member found to share a prime with a delta
+// modulus during an ingest sweep.
+type mate struct {
+	shard   int
+	key     string
+	mod     *big.Int
+	divisor *big.Int
+}
+
+// sweepShards runs every sweep modulus against every existing shard
+// product, via one remainder tree of the delta per shard:
+// gcd(N, P mod N) = gcd(N, P) exposes the primes N shares with the
+// shard without ever forming P/N. Shards fan out on the shared kernel
+// pool, like Build. Alongside, each shard scans its own leaves against
+// the divisors it yielded to find the old members being shared with
+// (the mates to re-label). Results land in shardGCD (shard -> sweep
+// index -> common divisor) and mates, both indexed by shard.
+func (s *Snapshot) sweepShards(ctx context.Context, sweep []*big.Int, shardGCD []map[int]*big.Int, mates [][]mate) error {
+	errs := make([]error, len(s.shards))
+	dt, err := prodtree.NewCtx(ctx, sweep)
+	if err != nil {
+		return fmt.Errorf("keycheck: ingest: delta tree: %w", err)
+	}
+	var treed []int // shards that actually hold a product tree
+	for si := range s.shards {
+		if s.shards[si].tree != nil {
+			treed = append(treed, si)
+		}
+	}
+	eng := kernel.FromContext(ctx)
+	runErr := eng.Run(ctx, len(treed), func(k int, a *kernel.Arena) {
+		si := treed[k]
+		sh := s.shards[si]
+		rems, err := dt.RemainderTreeCtx(ctx, sh.product())
+		if err != nil {
+			errs[si] = fmt.Errorf("keycheck: ingest shard %d: %w", si, err)
+			return
+		}
+		var gis []*big.Int
+		for j, rem := range rems {
+			n := sweep[j]
+			var gi *big.Int
+			if rem.Sign() == 0 {
+				// n divides the whole shard product: every prime of
+				// n lives in this shard.
+				gi = n
+			} else {
+				gi = new(big.Int).GCD(nil, nil, n, rem)
+				if gi.Cmp(one) <= 0 {
+					continue
+				}
+			}
+			if shardGCD[si] == nil {
+				shardGCD[si] = make(map[int]*big.Int)
+			}
+			shardGCD[si][j] = gi
+			gis = append(gis, gi)
+		}
+		if len(gis) == 0 {
+			return
+		}
+		// Mate scan: which existing members of this shard share a
+		// prime with the delta? Only shards that yielded a divisor
+		// pay for it, and only with small GCDs.
+		g := a.Get()
+		for _, leaf := range sh.tree.Leaves() {
+			for _, gi := range gis {
+				g.GCD(nil, nil, leaf, gi)
+				if g.Cmp(one) > 0 && g.Cmp(leaf) < 0 {
+					mates[si] = append(mates[si], mate{
+						shard: si, key: string(leaf.Bytes()),
+						mod: leaf, divisor: new(big.Int).Set(g),
+					})
+					break
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return fmt.Errorf("keycheck: ingest cancelled: %w", runErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // extendBloom returns the filter for a shard that gained newKeys. While

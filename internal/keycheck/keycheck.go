@@ -28,6 +28,7 @@ import (
 	"math/big"
 	"strings"
 
+	"github.com/factorable/weakkeys/internal/anomaly"
 	"github.com/factorable/weakkeys/internal/certs"
 )
 
@@ -42,8 +43,25 @@ const (
 	// the corpus; the GCD path recovered the factorization on the spot.
 	// The key is compromised.
 	StatusSharedFactor Status = "shared_factor"
-	// StatusClean: no shared factor with the corpus is known. Not a
-	// proof of safety — only that this corpus cannot break the key.
+	// StatusFermatWeak: the modulus is novel and the online Fermat probe
+	// split it — its primes are close enough that the factorization falls
+	// out in a bounded ascent from sqrt(N). The key is compromised.
+	StatusFermatWeak Status = "fermat_weak"
+	// StatusSmallFactor: the modulus is novel and trial division or
+	// Pollard rho recovered a small prime factor. The key is compromised.
+	StatusSmallFactor Status = "small_factor"
+	// StatusSharedModulus: the modulus is in the corpus and was observed
+	// there under two or more distinct identities — no factorization is
+	// known, but any identity holding the private key can impersonate or
+	// decrypt every other. The key must be treated as compromised.
+	StatusSharedModulus Status = "shared_modulus"
+	// StatusUnsafeExponent: the submission carried a public exponent that
+	// breaks RSA outright (e = 1 or even e) or falls outside sane bounds.
+	// The modulus itself may be fine; the key as used is not.
+	StatusUnsafeExponent Status = "unsafe_exponent"
+	// StatusClean: no shared factor with the corpus is known and no
+	// anomaly probe fired. Not a proof of safety — only that this corpus
+	// and these probes cannot break the key.
 	StatusClean Status = "clean"
 )
 
@@ -77,12 +95,42 @@ type Verdict struct {
 	// definitive; a clean one is not. The router strips this flag once
 	// it has gathered full coverage.
 	Partial bool `json:"partial,omitempty"`
+	// SharedWith is the number of distinct identities the corpus observed
+	// serving this modulus, for a shared_modulus verdict.
+	SharedWith int `json:"shared_with,omitempty"`
+	// ExponentClass names the anomaly class of the submitted public
+	// exponent for an unsafe_exponent verdict ("one", "even",
+	// "nonpositive", "oversized").
+	ExponentClass string `json:"exponent_class,omitempty"`
 }
 
 // Compromised reports whether the verdict means the private key is
 // recoverable from public data.
 func (v Verdict) Compromised() bool {
-	return v.Status == StatusFactored || v.Status == StatusSharedFactor
+	switch v.Status {
+	case StatusFactored, StatusSharedFactor, StatusFermatWeak, StatusSmallFactor:
+		return true
+	}
+	return false
+}
+
+// ApplyExponent folds a submitted public exponent into a verdict:
+// a clean verdict upgrades to unsafe_exponent when the exponent's
+// census class is broken outright (e = 1, even e, nonpositive, or
+// oversized). The small-exponent class (odd e in 3..65535) is legal
+// RSA and stays census-only — it never flips a verdict. Compromised
+// verdicts are worse than the exponent and are left untouched.
+func ApplyExponent(v Verdict, e *big.Int) Verdict {
+	if e == nil || v.Status != StatusClean {
+		return v
+	}
+	switch cls := anomaly.ClassifyExponent(e); cls {
+	case anomaly.ExponentOne, anomaly.ExponentEven,
+		anomaly.ExponentNonPositive, anomaly.ExponentOversized:
+		v.Status = StatusUnsafeExponent
+		v.ExponentClass = string(cls)
+	}
+	return v
 }
 
 // Submission limits. MaxModulusBits bounds the accepted key size so a

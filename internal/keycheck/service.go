@@ -120,9 +120,13 @@ func NewService(snap *Snapshot, cfg Config) *Service {
 		cacheMisses:   reg.Counter("keycheck_cache_misses_total"),
 		inflightGauge: reg.Gauge("keycheck_inflight_checks"),
 		verdicts: map[Status]*telemetry.Counter{
-			StatusFactored:     reg.Counter(`keycheck_checks_total{verdict="factored"}`),
-			StatusSharedFactor: reg.Counter(`keycheck_checks_total{verdict="shared_factor"}`),
-			StatusClean:        reg.Counter(`keycheck_checks_total{verdict="clean"}`),
+			StatusFactored:       reg.Counter(`keycheck_checks_total{verdict="factored"}`),
+			StatusSharedFactor:   reg.Counter(`keycheck_checks_total{verdict="shared_factor"}`),
+			StatusFermatWeak:     reg.Counter(`keycheck_checks_total{verdict="fermat_weak"}`),
+			StatusSmallFactor:    reg.Counter(`keycheck_checks_total{verdict="small_factor"}`),
+			StatusSharedModulus:  reg.Counter(`keycheck_checks_total{verdict="shared_modulus"}`),
+			StatusUnsafeExponent: reg.Counter(`keycheck_checks_total{verdict="unsafe_exponent"}`),
+			StatusClean:          reg.Counter(`keycheck_checks_total{verdict="clean"}`),
 		},
 	}
 	s.publishGauges(snap)

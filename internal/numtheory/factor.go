@@ -105,6 +105,55 @@ func rhoBrent(n *big.Int, c int64, maxSteps int) *big.Int {
 	return nil
 }
 
+// FermatFactor attempts to factor n = p*q with close primes by Fermat's
+// method: ascend a from ceil(sqrt(n)) and test whether a² - n is a
+// perfect square b²; if so, n = (a-b)(a+b). The budget is the number of
+// candidate a values tried (so step 0 tests ceil(sqrt(n)) itself, and a
+// pair whose midpoint is k above the root needs a budget of k+1). It
+// returns nil, nil when no split lands within the budget or n is even,
+// a square, prime, or < 2.
+//
+// Primes drawn too close together — the "When RSA Fails" prime-selection
+// flaw where q is the next prime after p, or p and q share high bits —
+// fall in a handful of steps: the required ascent is ~(p-q)²/(8·sqrt(n)),
+// so any |p-q| below roughly n^(1/4) is within reach of a tiny budget
+// while honestly independent primes sit ~sqrt(n)/2 away.
+func FermatFactor(n *big.Int, maxSteps int) (p, q *big.Int) {
+	if n.Sign() <= 0 || n.BitLen() < 2 || n.Bit(0) == 0 || n.ProbablyPrime(12) {
+		return nil, nil
+	}
+	a := new(big.Int).Sqrt(n)
+	aa := new(big.Int).Mul(a, a)
+	if aa.Cmp(n) < 0 {
+		a.Add(a, one)
+	}
+	// b2 = a² - n, updated incrementally: stepping a to a+1 adds 2a+1.
+	b2 := new(big.Int).Mul(a, a)
+	b2.Sub(b2, n)
+	b := new(big.Int)
+	bb := new(big.Int)
+	step := new(big.Int)
+	for i := 0; i < maxSteps; i++ {
+		b.Sqrt(b2)
+		bb.Mul(b, b)
+		if bb.Cmp(b2) == 0 {
+			p = new(big.Int).Sub(a, b)
+			q = new(big.Int).Add(a, b)
+			if p.Cmp(one) <= 0 {
+				// n itself is the degenerate 1·n split (n a square of
+				// nothing useful, or a=(n+1)/2 reached for tiny n).
+				return nil, nil
+			}
+			return p, q
+		}
+		step.Lsh(a, 1)
+		step.Add(step, one)
+		b2.Add(b2, step)
+		a.Add(a, one)
+	}
+	return nil, nil
+}
+
 // FactorCompletely factors n into probable primes using trial division by
 // the first nPrimes primes followed by recursive Pollard rho, each rho
 // call bounded by rhoSteps. Factors that resist the budget are returned

@@ -1,0 +1,98 @@
+package population
+
+import (
+	"context"
+	"testing"
+
+	"github.com/factorable/weakkeys/internal/anomaly"
+	"github.com/factorable/weakkeys/internal/devices"
+	"github.com/factorable/weakkeys/internal/numtheory"
+	"github.com/factorable/weakkeys/internal/scanstore"
+	"github.com/factorable/weakkeys/internal/weakrsa"
+)
+
+func TestKeyFactoryAnomalyModes(t *testing.T) {
+	f := NewKeyFactory(21, 128)
+
+	cp, err := f.ClosePrimeKey(weakrsa.PrimeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := numtheory.FermatFactor(cp.N, anomaly.DefaultFermatSteps); p == nil {
+		t.Error("close-prime key out of Fermat reach")
+	}
+
+	sf, err := f.SmallFactorKey(weakrsa.PrimeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.P.BitLen() > weakrsa.SmallFactorBits {
+		t.Errorf("small factor is %d bits", sf.P.BitLen())
+	}
+
+	ue, err := f.UnsafeExponentKey(weakrsa.PrimeNaive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ue.E != 1 {
+		t.Errorf("E = %d, want 1", ue.E)
+	}
+
+	a, err := f.SharedModulusKey("fw-a", weakrsa.PrimeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.SharedModulusKey("fw-a", weakrsa.PrimeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(b.N) != 0 {
+		t.Error("same group must serve one modulus")
+	}
+	c, err := f.SharedModulusKey("fw-b", weakrsa.PrimeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(c.N) == 0 {
+		t.Error("distinct groups collided")
+	}
+}
+
+// TestAnomalyLinesProduceAnomalousCorpus runs a tiny simulation over the
+// anomaly ecosystem and checks the analysis pass finds every class.
+func TestAnomalyLinesProduceAnomalousCorpus(t *testing.T) {
+	sim, err := New(Config{Seed: 33, KeyBits: 128, Lines: AnomalyLines()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := scanstore.New()
+	if err := sim.Run(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := anomaly.Analyze(context.Background(), anomaly.Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FermatWeakCount == 0 {
+		t.Error("no Fermat-weak moduli in the anomaly ecosystem")
+	}
+	if rep.SmallFactorCount == 0 {
+		t.Error("no small-factor moduli")
+	}
+	if rep.SharedCount == 0 {
+		t.Error("no shared moduli")
+	}
+	if rep.Exponents.Classes[anomaly.ExponentOne] == 0 {
+		t.Errorf("no e=1 certificates; census %v", rep.Exponents.Classes)
+	}
+	modes := map[devices.KeyMode]bool{}
+	for _, l := range AnomalyLines() {
+		modes[l.Profile.VulnerableKeyMode] = true
+	}
+	for _, m := range []devices.KeyMode{devices.KeyClosePrimes, devices.KeySmallFactor,
+		devices.KeyUnsafeExponent, devices.KeySharedModulus} {
+		if !modes[m] {
+			t.Errorf("AnomalyLines missing mode %v", m)
+		}
+	}
+}

@@ -45,6 +45,10 @@ type Line struct {
 	// without chaining them (Section 3.1); the analysis must
 	// reconstruct chains and keep only the lowest certificate.
 	DeviceCA bool
+	// UnsafeExponent is the broken public exponent KeyUnsafeExponent
+	// lines emit; defaults to 1 (the worst of the Tor-study findings:
+	// "encryption" that leaves plaintext on the wire).
+	UnsafeExponent int
 }
 
 // DefaultRSAOnlyShare reproduces the paper's April 2016 measurement: 74%
@@ -69,6 +73,14 @@ func (l *Line) pool() string {
 		return l.Profile.Vendor + "/" + l.Profile.Model
 	}
 	return l.Profile.Vendor
+}
+
+// unsafeExponent returns the effective broken exponent.
+func (l *Line) unsafeExponent() int {
+	if l.UnsafeExponent != 0 {
+		return l.UnsafeExponent
+	}
+	return 1
 }
 
 // cliqueName returns the effective clique name.
@@ -309,6 +321,50 @@ func DefaultDynamics() []Line {
 		})
 	}
 	return lines
+}
+
+// AnomalyLines returns the device families exhibiting the anomalous-key
+// classes batch GCD cannot see (the Tor-relays study's taxonomy): close
+// primes, small factors, broken exponents, and a fleet-wide shared
+// modulus. They are not part of DefaultDynamics — the paper's figures
+// don't plot them — but simulations can append them to exercise the
+// anomaly analytics end to end.
+func AnomalyLines() []Line {
+	return []Line{
+		// Smartcard-style token vendor whose primes come from one narrow
+		// window ("When RSA Fails"): every vulnerable key Fermat-splits.
+		{
+			Profile: devices.GenericProfile("TokenWorks", devices.KeyClosePrimes, weakrsa.PrimeNaive),
+			Total:   C("2010-07", 30, "2016-04", 60),
+			Vuln:    C("2010-07", 6, "2016-04", 14),
+			Churn:   0.008,
+		},
+		// A vendor whose firmware short-circuited its primality test and
+		// ships moduli with a tiny prime factor.
+		{
+			Profile: devices.GenericProfile("NetLatch", devices.KeySmallFactor, weakrsa.PrimeNaive),
+			Total:   C("2010-07", 25, "2016-04", 45),
+			Vuln:    C("2010-07", 5, "2016-04", 10),
+			Churn:   0.008,
+		},
+		// IP cameras emitting e = 1: the modulus is honest but
+		// "encryption" is the identity function.
+		{
+			Profile:        devices.GenericProfile("CamSight", devices.KeyUnsafeExponent, weakrsa.PrimeOpenSSL),
+			Total:          C("2010-07", 40, "2016-04", 70),
+			Vuln:           C("2010-07", 8, "2016-04", 16),
+			UnsafeExponent: 1,
+			Churn:          0.010,
+		},
+		// A router line whose firmware image bakes in one keypair: the
+		// whole fleet serves the same modulus under distinct identities.
+		{
+			Profile: devices.GenericProfile("CloneGate", devices.KeySharedModulus, weakrsa.PrimeNaive),
+			Total:   C("2010-07", 30, "2016-04", 55),
+			Vuln:    C("2010-07", 10, "2016-04", 20),
+			Churn:   0.012,
+		},
+	}
 }
 
 // siemensOverlapStart is when the Siemens/IBM shared modulus first

@@ -27,6 +27,7 @@ type KeyFactory struct {
 
 	cohorts map[string]*cohort
 	cliques map[string]*cliqueState
+	shared  map[string]*weakrsa.SharedModulusGroup
 }
 
 type cohort struct {
@@ -50,6 +51,7 @@ func NewKeyFactory(seed int64, bits int) *KeyFactory {
 		rng:     rand.New(rand.NewSource(seed)),
 		cohorts: make(map[string]*cohort),
 		cliques: make(map[string]*cliqueState),
+		shared:  make(map[string]*weakrsa.SharedModulusGroup),
 	}
 }
 
@@ -158,6 +160,40 @@ func (f *KeyFactory) CliqueKey(name string, gen weakrsa.PrimeGen) (*weakrsa.Priv
 	}
 	cs.draws++
 	return cs.clique.Key(f.rng.Intn(cs.clique.KeyCount()))
+}
+
+// ClosePrimeKey returns a key whose primes were drawn from one narrow
+// window (weakrsa.GenerateClosePrimes): Fermat-factorable, but invisible
+// to batch GCD because no prime is shared with any other key.
+func (f *KeyFactory) ClosePrimeKey(gen weakrsa.PrimeGen) (*weakrsa.PrivateKey, error) {
+	return weakrsa.GenerateClosePrimes(f.rng, weakrsa.Options{Bits: f.bits, PrimeGen: gen})
+}
+
+// SmallFactorKey returns a key whose first prime is tiny — the
+// broken-primality-test flaw; trial division splits it immediately.
+func (f *KeyFactory) SmallFactorKey(gen weakrsa.PrimeGen) (*weakrsa.PrivateKey, error) {
+	return weakrsa.GenerateSmallFactor(f.rng, weakrsa.Options{Bits: f.bits, PrimeGen: gen}, 0)
+}
+
+// UnsafeExponentKey returns an honest modulus carrying the given broken
+// public exponent (e = 1, even e, or a tiny unsafe e).
+func (f *KeyFactory) UnsafeExponentKey(gen weakrsa.PrimeGen, e int) (*weakrsa.PrivateKey, error) {
+	return weakrsa.GenerateUnsafeExponent(f.rng, weakrsa.Options{Bits: f.bits, PrimeGen: gen}, e)
+}
+
+// SharedModulusKey returns the named firmware group's single baked-in
+// keypair: every device of the group serves the identical modulus.
+func (f *KeyFactory) SharedModulusKey(name string, gen weakrsa.PrimeGen) (*weakrsa.PrivateKey, error) {
+	g := f.shared[name]
+	if g == nil {
+		var err error
+		g, err = weakrsa.NewSharedModulusGroup([]byte("firmware:"+name), f.bits, gen)
+		if err != nil {
+			return nil, err
+		}
+		f.shared[name] = g
+	}
+	return g.Key(), nil
 }
 
 // Clique exposes the named clique's generator (nil if never drawn from),

@@ -254,6 +254,14 @@ func (s *Simulation) issueKeyAndCert(d *Device, m Month) error {
 			key, err = s.factory.CliqueKey(line.cliqueName(), line.Profile.PrimeGen)
 		case devices.KeySharedPrime:
 			key, err = s.factory.SharedPrime(line.pool(), line.Profile.PrimeGen)
+		case devices.KeyClosePrimes:
+			key, err = s.factory.ClosePrimeKey(line.Profile.PrimeGen)
+		case devices.KeySmallFactor:
+			key, err = s.factory.SmallFactorKey(line.Profile.PrimeGen)
+		case devices.KeyUnsafeExponent:
+			key, err = s.factory.UnsafeExponentKey(line.Profile.PrimeGen, line.unsafeExponent())
+		case devices.KeySharedModulus:
+			key, err = s.factory.SharedModulusKey(line.pool(), line.Profile.PrimeGen)
 		default:
 			return fmt.Errorf("population: line %d marked vulnerable with healthy key mode", d.LineIdx)
 		}

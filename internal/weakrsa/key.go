@@ -155,6 +155,14 @@ func GenerateKey(rand io.Reader, opts Options) (*PrivateKey, error) {
 	if o.Bits < 32 || o.Bits%2 != 0 {
 		return nil, fmt.Errorf("weakrsa: invalid modulus size %d", o.Bits)
 	}
+	// A public exponent below 3 or even can never invert mod φ(N) (φ is
+	// always even), so without this check the loop below burns all 64
+	// attempts and reports an opaque exhaustion error. The deliberately
+	// broken exponents of the anomaly flaw models bypass GenerateKey and
+	// assemble keys directly.
+	if o.E < 3 || o.E%2 == 0 {
+		return nil, fmt.Errorf("weakrsa: invalid public exponent %d (must be odd and >= 3)", o.E)
+	}
 	e := big.NewInt(int64(o.E))
 	for attempt := 0; attempt < 64; attempt++ {
 		p, err := o.PrimeGen.gen(rand, o.Bits/2)

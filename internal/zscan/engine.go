@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -186,6 +187,11 @@ type Engine struct {
 	lastCP  scanstore.Checkpoint
 	sinceCP int
 	rep     Report
+	// cpNext is the filename index of the next delta segment. It starts
+	// past the highest zscan-*.delta already in CheckpointDir, so a shard
+	// restarted into a non-empty directory extends the chain instead of
+	// silently overwriting it (Report.Checkpoints counts this run only).
+	cpNext int
 }
 
 // New validates the options and builds the permutation.
@@ -198,18 +204,73 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	cpNext := 0
 	if o.CheckpointDir != "" {
 		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("zscan: checkpoint dir: %w", err)
 		}
+		if cpNext, err = nextCheckpointIndex(o.CheckpointDir); err != nil {
+			return nil, err
+		}
 	}
 	return &Engine{
-		o:     o,
-		cycle: cyc,
-		ins:   o.instruments(),
-		seen:  make(map[string]bool),
-		rep:   Report{Errors: make(map[string]uint64)},
+		o:      o,
+		cycle:  cyc,
+		ins:    o.instruments(),
+		seen:   make(map[string]bool),
+		rep:    Report{Errors: make(map[string]uint64)},
+		cpNext: cpNext,
 	}, nil
+}
+
+// LoadCheckpoints replays every zscan-*.delta segment in dir into store,
+// in index order — the restart rehydration step. Delta segments are
+// positional (each records the store position it was saved against), so
+// a shard restarted into a non-empty checkpoint dir must fold the
+// existing chain back into its store before scanning; the engine then
+// appends new segments that chain onto the old ones. Returns the number
+// of segments replayed; a missing or empty dir replays zero.
+func LoadCheckpoints(dir string, store *scanstore.Store) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "zscan-*.delta"))
+	if err != nil {
+		return 0, fmt.Errorf("zscan: load checkpoints: %w", err)
+	}
+	sort.Strings(matches)
+	for i, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return i, fmt.Errorf("zscan: load checkpoints: %w", err)
+		}
+		err = store.LoadSince(f)
+		f.Close()
+		if err != nil {
+			return i, fmt.Errorf("zscan: load checkpoints: replay %s: %w", filepath.Base(path), err)
+		}
+	}
+	return len(matches), nil
+}
+
+// nextCheckpointIndex scans dir for existing zscan-*.delta segments and
+// returns the index after the highest one, so a restarted shard appends
+// to the delta chain rather than clobbering it and corrupting LoadSince
+// replay.
+func nextCheckpointIndex(dir string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "zscan-*.delta"))
+	if err != nil {
+		return 0, fmt.Errorf("zscan: checkpoint dir: %w", err)
+	}
+	next := 0
+	for _, m := range matches {
+		base := filepath.Base(m)
+		var idx int
+		if _, err := fmt.Sscanf(base, "zscan-%d.delta", &idx); err != nil {
+			return 0, fmt.Errorf("zscan: checkpoint dir holds unrecognized delta %q", base)
+		}
+		if idx+1 > next {
+			next = idx + 1
+		}
+	}
+	return next, nil
 }
 
 // Cycle exposes the engine's permutation (for audits and tests).
@@ -429,7 +490,7 @@ func (e *Engine) checkpoint(ctx context.Context, final bool) error {
 		return nil
 	}
 	path := filepath.Join(e.o.CheckpointDir,
-		fmt.Sprintf("zscan-%04d.delta", e.rep.Checkpoints))
+		fmt.Sprintf("zscan-%04d.delta", e.cpNext))
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("zscan: checkpoint: %w", err)
@@ -445,6 +506,7 @@ func (e *Engine) checkpoint(ctx context.Context, final bool) error {
 	records := e.sinceCP
 	e.lastCP = e.o.Store.Checkpoint()
 	e.sinceCP = 0
+	e.cpNext++
 	e.rep.Checkpoints++
 	e.ins.checkpoints.Inc()
 	e.ins.events.Info(ctx, "zscan checkpoint saved",

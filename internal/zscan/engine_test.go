@@ -181,6 +181,95 @@ func TestEngineCheckpointChain(t *testing.T) {
 	}
 }
 
+// TestEngineCheckpointRestartContinuesChain restarts a shard into a
+// non-empty checkpoint dir: the new engine must continue the delta
+// numbering past the existing segments instead of silently overwriting
+// them, the first run's files must survive byte-for-byte, and the full
+// chain must still replay in order.
+func TestEngineCheckpointRestartContinuesChain(t *testing.T) {
+	dir := t.TempDir()
+	fleet := testFleet(t, FleetOptions{Space: 2048, Devices: 18, Seed: 6})
+	run := func(date time.Time) Report {
+		store := scanstore.New()
+		if _, err := LoadCheckpoints(dir, store); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(Options{
+			Space: 2048, Seed: 6, Prober: fleet, Store: store,
+			CheckpointDir: dir, CheckpointEvery: 4, Date: date,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep1 := run(time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC))
+	files1, err := filepath.Glob(filepath.Join(dir, "zscan-*.delta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files1)
+	if len(files1) != rep1.Checkpoints || rep1.Checkpoints < 4 {
+		t.Fatalf("first run: %d files for %d checkpoints", len(files1), rep1.Checkpoints)
+	}
+	before := make(map[string][]byte, len(files1))
+	for _, path := range files1 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[path] = data
+	}
+
+	// Restart: fresh engine and store, same directory.
+	rep2 := run(time.Date(2016, 4, 2, 0, 0, 0, 0, time.UTC))
+	files2, err := filepath.Glob(filepath.Join(dir, "zscan-*.delta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files2)
+	if got, want := len(files2), len(files1)+rep2.Checkpoints; got != want {
+		t.Fatalf("after restart: %d delta files, want %d (first run's %d + second run's %d)",
+			got, want, len(files1), rep2.Checkpoints)
+	}
+	for _, path := range files1 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(before[path]) {
+			t.Errorf("restart rewrote existing segment %s", filepath.Base(path))
+		}
+	}
+
+	// The combined chain still replays front to back.
+	replay := scanstore.New()
+	total := 0
+	for _, path := range files2 {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = replay.LoadSince(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("replay %s: %v", path, err)
+		}
+		total++
+	}
+	if total != len(files2) {
+		t.Fatalf("replayed %d of %d segments", total, len(files2))
+	}
+	if got, want := len(replay.Records()), rep1.Stored+rep2.Stored; got != want {
+		t.Fatalf("replayed records = %d, want %d (both runs)", got, want)
+	}
+}
+
 func TestEnginePacing(t *testing.T) {
 	fleet := testFleet(t, FleetOptions{Space: 400, Devices: 1, Seed: 7})
 	store := scanstore.New()

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Anomalous-key smoke test: start keyserverd with the -anomaly-fleet
+# cohorts (close primes, small factors, e=1, fleet-shared modulus) and
+# assert every beyond-GCD verdict class over the HTTP API:
+#   - shared_modulus  for a corpus key served under many identities
+#                     (pulled live from /v1/exemplars' shared list);
+#   - fermat_weak     for a novel close-prime modulus;
+#   - small_factor    for a novel modulus with a tiny prime factor;
+#   - unsafe_exponent for a clean corpus key submitted with e = 2;
+# then check the per-verdict serving telemetry counts all four.
+set -eu
+
+TMP="$(mktemp -d)"
+trap 'kill "$KS_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/keyserverd" ./cmd/keyserverd
+
+# The anomalous families are small fleets; -scale 0.3 keeps enough
+# CloneGate devices alive that the shared modulus has >=2 identities.
+"$TMP/keyserverd" -scale 0.3 -bits 128 -subsets 3 -anomaly-fleet \
+    -listen 127.0.0.1:0 >"$TMP/stdout" 2>"$TMP/stderr" &
+KS_PID=$!
+
+ADDR=""
+for _ in $(seq 1 600); do
+    ADDR="$(sed -n 's#.*keycheck API on http://\([^/]*\)/v1/check.*#\1#p' "$TMP/stderr" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$KS_PID" 2>/dev/null || { echo "anomaly-smoke: keyserverd exited before serving" >&2; cat "$TMP/stderr" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "anomaly-smoke: never saw the API address" >&2; cat "$TMP/stderr" >&2; exit 1; }
+
+# shared_modulus: the exemplars endpoint lists corpus moduli observed
+# under >=2 identities — the CloneGate fleet's baked-in keypair.
+curl -sf "http://$ADDR/v1/exemplars?n=4" >"$TMP/exemplars" \
+    || { echo "anomaly-smoke: /v1/exemplars failed" >&2; exit 1; }
+SHARED="$(sed -n 's/.*"shared":\["\([0-9a-f]*\)".*/\1/p' "$TMP/exemplars")"
+CLEAN="$(sed -n 's/.*"clean":\["\([0-9a-f]*\)".*/\1/p' "$TMP/exemplars")"
+[ -n "$SHARED" ] || { echo "anomaly-smoke: no shared-modulus exemplar from the anomaly fleet" >&2; cat "$TMP/exemplars" >&2; exit 1; }
+[ -n "$CLEAN" ] || { echo "anomaly-smoke: no clean exemplar" >&2; cat "$TMP/exemplars" >&2; exit 1; }
+
+curl -sf -X POST -d "{\"modulus_hex\":\"$SHARED\"}" "http://$ADDR/v1/check" >"$TMP/shared"
+grep -q '"status":"shared_modulus"' "$TMP/shared" \
+    || { echo "anomaly-smoke: shared exemplar not shared_modulus" >&2; cat "$TMP/shared" >&2; exit 1; }
+grep -q '"shared_with":' "$TMP/shared" \
+    || { echo "anomaly-smoke: shared_modulus verdict missing shared_with" >&2; cat "$TMP/shared" >&2; exit 1; }
+
+# fermat_weak: a novel modulus whose primes are consecutive —
+# 0xb504f333f9de64e3 * 0xb504f333f9de650f; the bounded Fermat ascent
+# must split it on the spot and return both factors.
+FERMAT=80000000000000a4f7f752d5a9af784d
+curl -sf -X POST -d "{\"modulus_hex\":\"$FERMAT\"}" "http://$ADDR/v1/check" >"$TMP/fermat"
+grep -q '"status":"fermat_weak"' "$TMP/fermat" \
+    || { echo "anomaly-smoke: close-prime modulus not fermat_weak" >&2; cat "$TMP/fermat" >&2; exit 1; }
+grep -q '"factor_p_hex":"b504f333f9de64e3"' "$TMP/fermat" \
+    || { echo "anomaly-smoke: fermat_weak verdict missing the recovered factor" >&2; cat "$TMP/fermat" >&2; exit 1; }
+
+# small_factor: a novel modulus carrying the prime 641 (0x281); trial
+# division must pull it out.
+SMALL=21a15d2b7cf5a5b74215ef0607a46a72b
+curl -sf -X POST -d "{\"modulus_hex\":\"$SMALL\"}" "http://$ADDR/v1/check" >"$TMP/small"
+grep -q '"status":"small_factor"' "$TMP/small" \
+    || { echo "anomaly-smoke: small-factor modulus not small_factor" >&2; cat "$TMP/small" >&2; exit 1; }
+grep -q '"divisor_hex":"281"' "$TMP/small" \
+    || { echo "anomaly-smoke: small_factor verdict missing divisor 0x281" >&2; cat "$TMP/small" >&2; exit 1; }
+
+# unsafe_exponent: the same clean corpus key is fine alone but broken
+# as used when the submission carries an even exponent.
+curl -sf -X POST -d "{\"modulus_hex\":\"$CLEAN\",\"exponent_hex\":\"2\"}" "http://$ADDR/v1/check" >"$TMP/unsafe"
+grep -q '"status":"unsafe_exponent"' "$TMP/unsafe" \
+    || { echo "anomaly-smoke: e=2 submission not unsafe_exponent" >&2; cat "$TMP/unsafe" >&2; exit 1; }
+grep -q '"exponent_class":"even"' "$TMP/unsafe" \
+    || { echo "anomaly-smoke: unsafe_exponent verdict missing exponent_class" >&2; cat "$TMP/unsafe" >&2; exit 1; }
+
+# A conventional exponent must not flip the verdict.
+curl -sf -X POST -d "{\"modulus_hex\":\"$CLEAN\",\"exponent_hex\":\"10001\"}" "http://$ADDR/v1/check" >"$TMP/clean_e"
+grep -q '"status":"clean"' "$TMP/clean_e" \
+    || { echo "anomaly-smoke: e=65537 submission no longer clean" >&2; cat "$TMP/clean_e" >&2; exit 1; }
+
+# The serving telemetry must count each new verdict class.
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics"
+for VERDICT in shared_modulus fermat_weak small_factor unsafe_exponent; do
+    grep "keycheck_checks_total{verdict=\"$VERDICT\"}" "$TMP/metrics" | grep -qv ' 0$' \
+        || { echo "anomaly-smoke: /metrics did not count $VERDICT" >&2; grep keycheck_checks_total "$TMP/metrics" >&2; exit 1; }
+done
+
+kill "$KS_PID" 2>/dev/null || true
+wait "$KS_PID" 2>/dev/null || true
+
+echo "anomaly smoke ok (shared_modulus+fermat_weak+small_factor+unsafe_exponent flows correct at $ADDR)"

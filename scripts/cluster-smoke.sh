@@ -77,8 +77,9 @@ grep -q '"status":"clean"' "$TMP/clean" && grep -q '"known":true' "$TMP/clean" \
     || { echo "cluster-smoke: clean key wrong via router" >&2; cat "$TMP/clean" >&2; exit 1; }
 
 # A novel modulus scatter-gathers the whole corpus: clean, unknown, and
-# not degraded (full coverage).
-NOVEL=c5a1d9e366c9b3ffd7ab0c929ff8a0102030405060708090a0b0c0d0e0f10305
+# not degraded (full coverage). The fixture is a semiprime of two
+# 128-bit primes so the online anomaly probes cannot break it.
+NOVEL=83d10bc678bfd027d37189b7de9afeb8aadb3fb6bb7b9b772d73eccee0c13f21
 curl -sf -X POST -d "{\"modulus_hex\":\"$NOVEL\"}" "http://$ROUTER/v1/check" >"$TMP/novel"
 grep -q '"status":"clean"' "$TMP/novel" \
     || { echo "cluster-smoke: novel key not clean" >&2; cat "$TMP/novel" >&2; exit 1; }
